@@ -1,0 +1,138 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (§6). Each BenchmarkTabX/BenchmarkFigX runs the corresponding
+// experiment harness at smoke-test scale and prints the same rows/series
+// the paper reports (the first iteration prints; repeats are silent).
+//
+// Full-scale runs:  go run ./cmd/tsunami-bench -experiment fig7
+// These benches:    go test -bench=. -benchmem
+package tsunami_test
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	tsunami "repro"
+	"repro/internal/bench"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	o := bench.Options{Quick: true}
+	for i := 0; i < b.N; i++ {
+		w := io.Writer(io.Discard)
+		if i == 0 {
+			w = os.Stdout
+		}
+		if err := bench.Run(w, id, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTab3Datasets regenerates Tab 3 (dataset/query characteristics).
+func BenchmarkTab3Datasets(b *testing.B) { runExperiment(b, "tab3") }
+
+// BenchmarkTab4IndexStats regenerates Tab 4 (index statistics after
+// optimization).
+func BenchmarkTab4IndexStats(b *testing.B) { runExperiment(b, "tab4") }
+
+// BenchmarkFig7Throughput regenerates Fig 7 (query performance across
+// datasets and indexes).
+func BenchmarkFig7Throughput(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8IndexSize regenerates Fig 8 (index sizes).
+func BenchmarkFig8IndexSize(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9aWorkloadShift regenerates Fig 9a (adaptability to workload
+// shift).
+func BenchmarkFig9aWorkloadShift(b *testing.B) { runExperiment(b, "fig9a") }
+
+// BenchmarkFig9bCreation regenerates Fig 9b (index creation time split).
+func BenchmarkFig9bCreation(b *testing.B) { runExperiment(b, "fig9b") }
+
+// BenchmarkFig10Dimensions regenerates Fig 10 (dimensionality sweep).
+func BenchmarkFig10Dimensions(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11aDataSize regenerates Fig 11a (dataset size sweep).
+func BenchmarkFig11aDataSize(b *testing.B) { runExperiment(b, "fig11a") }
+
+// BenchmarkFig11bSelectivity regenerates Fig 11b (selectivity sweep).
+func BenchmarkFig11bSelectivity(b *testing.B) { runExperiment(b, "fig11b") }
+
+// BenchmarkFig12aComponents regenerates Fig 12a (component drill-down).
+func BenchmarkFig12aComponents(b *testing.B) { runExperiment(b, "fig12a") }
+
+// BenchmarkFig12bOptimizers regenerates Fig 12b (optimizer comparison and
+// cost-model error).
+func BenchmarkFig12bOptimizers(b *testing.B) { runExperiment(b, "fig12b") }
+
+// BenchmarkAblations measures the design-choice ablations DESIGN.md calls
+// out (sort-dim refinement, FMs, CCDFs, merge epsilon, outlier buffers).
+func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablation") }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks on the public API: per-query latency of each index on a
+// fixed dataset, reported with allocations.
+
+func microSetup(b *testing.B) (*tsunami.Dataset, []tsunami.Query) {
+	b.Helper()
+	ds := tsunami.GenerateTaxi(60_000, 1)
+	work := tsunami.WorkloadFor(ds, 40, 2)
+	return ds, work
+}
+
+func benchQueries(b *testing.B, idx tsunami.Index, work []tsunami.Query) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Execute(work[i%len(work)])
+	}
+}
+
+func BenchmarkQueryTsunami(b *testing.B) {
+	ds, work := microSetup(b)
+	idx := tsunami.New(ds.Store, work, tsunami.Options{OptimizerIters: 2, MaxOptQueries: 32})
+	benchQueries(b, idx, work)
+}
+
+func BenchmarkQueryFlood(b *testing.B) {
+	ds, work := microSetup(b)
+	idx := tsunami.NewFlood(ds.Store, work, tsunami.Options{OptimizerIters: 2, MaxOptQueries: 32})
+	benchQueries(b, idx, work)
+}
+
+func BenchmarkQueryKDTree(b *testing.B) {
+	ds, work := microSetup(b)
+	benchQueries(b, tsunami.NewKDTree(ds.Store, work, 2048), work)
+}
+
+func BenchmarkQueryZOrder(b *testing.B) {
+	ds, work := microSetup(b)
+	benchQueries(b, tsunami.NewZOrder(ds.Store, 2048), work)
+}
+
+func BenchmarkQueryHyperoctree(b *testing.B) {
+	ds, work := microSetup(b)
+	benchQueries(b, tsunami.NewHyperoctree(ds.Store, 2048), work)
+}
+
+func BenchmarkQuerySingleDim(b *testing.B) {
+	ds, work := microSetup(b)
+	benchQueries(b, tsunami.NewSingleDim(ds.Store, work, -1), work)
+}
+
+func BenchmarkQueryFullScan(b *testing.B) {
+	ds, work := microSetup(b)
+	benchQueries(b, tsunami.NewFullScan(ds.Store), work)
+}
+
+// BenchmarkBuildTsunami measures end-to-end optimize+build time.
+func BenchmarkBuildTsunami(b *testing.B) {
+	ds, work := microSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tsunami.New(ds.Store, work, tsunami.Options{OptimizerIters: 2, MaxOptQueries: 32})
+	}
+}

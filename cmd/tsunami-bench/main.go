@@ -1,0 +1,41 @@
+// Command tsunami-bench regenerates the tables and figures of the Tsunami
+// paper's evaluation (§6) on generated datasets.
+//
+// Usage:
+//
+//	tsunami-bench -experiment fig7 -rows 200000
+//	tsunami-bench -experiment all -quick
+//
+// Experiments: tab3, tab4, fig7, fig8, fig9a, fig9b, fig10, fig11a,
+// fig11b, fig12a, fig12b, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (tab3, tab4, fig7..fig12b, all)")
+		rows       = flag.Int("rows", 0, "base dataset rows (default 200000; paper used 184M-300M)")
+		perType    = flag.Int("queries-per-type", 0, "queries per query type (default 100, as in the paper)")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		quick      = flag.Bool("quick", false, "small fast run for smoke testing")
+	)
+	flag.Parse()
+
+	o := bench.Options{
+		Rows:           *rows,
+		QueriesPerType: *perType,
+		Seed:           *seed,
+		Quick:          *quick,
+	}
+	if err := bench.Run(os.Stdout, *experiment, o); err != nil {
+		fmt.Fprintln(os.Stderr, "tsunami-bench:", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,203 @@
+// Command tsunami-cli is an interactive shell over a Tsunami index: load or
+// generate a dataset, run COUNT/SUM filter queries, EXPLAIN how the index
+// answers them, stream inserts, and save/load the index.
+//
+//	tsunami-cli -dataset taxi -rows 100000
+//	> count passengers=1 30<=pickup_zone<=60
+//	> explain distance<=100 pickup_time>=900000
+//	> sum fare distance<=100
+//	> insert 1000,1030,250,900,100,1000,2,17,42
+//	> merge
+//	> save /tmp/taxi.idx
+//	> stats
+//	> quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/auggrid"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/gridtree"
+	"repro/internal/qparse"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "taxi", "dataset: tpch, taxi, perfmon, stocks, uniform, correlated")
+		rows    = flag.Int("rows", 100_000, "rows to generate")
+		dims    = flag.Int("dims", 8, "dimensions (synthetic datasets only)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		load    = flag.String("load", "", "load a saved index instead of building one")
+	)
+	flag.Parse()
+
+	var idx *core.Tsunami
+	var names []string
+
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		idx, err = core.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		names = idx.Store().Names()
+		fmt.Printf("loaded index: %d rows, %d dims\n", idx.Store().NumRows(), idx.Store().NumDims())
+	} else {
+		ds := generate(*dataset, *rows, *dims, *seed)
+		work := workload.ForDataset(ds, 100, *seed+1)
+		fmt.Printf("building Tsunami over %s (%d rows, %d dims, %d sample queries)...\n",
+			ds.Name, ds.Rows(), ds.Dims(), len(work))
+		start := time.Now()
+		idx = core.Build(ds.Store, work, core.Config{
+			GridTree: gridtree.Config{MaxNodes: 64},
+			Grid: auggrid.OptimizeConfig{
+				Eval:     auggrid.EvalConfig{SampleSize: 2048, MaxQueries: 64, Seed: *seed},
+				MaxCells: 1 << 16,
+				MaxIters: 4,
+				Seed:     *seed,
+			},
+		})
+		names = idx.Store().Names()
+		fmt.Printf("built in %.1fs; columns: %s\n", time.Since(start).Seconds(), strings.Join(names, ", "))
+	}
+	fmt.Println(`type "help" for commands`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			if quit := eval(idx, names, line); quit {
+				return
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+// eval executes one command; returns true to quit.
+func eval(idx *core.Tsunami, names []string, line string) bool {
+	verb := strings.ToLower(strings.Fields(line)[0])
+	switch verb {
+	case "quit", "exit":
+		return true
+	case "help":
+		fmt.Print(`commands:
+  count <pred>...        COUNT(*) under the predicates, e.g. count qty=3 10<=day<=20
+  sum <col> <pred>...    SUM(col)
+  explain <pred>...      show which regions/cells the query touches
+  stats                  index structure statistics (Tab 4 of the paper)
+  insert v1,v2,...       buffer a new row (delta sibling)
+  merge                  fold buffered rows into the clustered layout
+  save <file>            persist the index
+  quit
+`)
+	case "stats":
+		s := idx.IndexStats()
+		fmt.Printf("grid tree: %d nodes, depth %d, %d regions\n", s.NumGridTreeNodes, s.GridTreeDepth, s.NumLeafRegions)
+		fmt.Printf("points/region: min=%d median=%d max=%d\n", s.MinPointsPerRegion, s.MedianPointsPerRegion, s.MaxPointsPerRegion)
+		fmt.Printf("avg FMs/region=%.2f avg CCDFs/region=%.2f, %d grid cells, %d bytes, %d buffered inserts\n",
+			s.AvgFMsPerRegion, s.AvgCCDFsPerRegion, s.TotalGridCells, idx.SizeBytes(), idx.NumBuffered())
+	case "insert":
+		rest := strings.TrimSpace(line[len("insert"):])
+		parts := strings.Split(rest, ",")
+		row := make([]int64, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				fmt.Printf("bad value %q\n", p)
+				return false
+			}
+			row = append(row, v)
+		}
+		if err := idx.Insert(row); err != nil {
+			fmt.Println(err)
+			return false
+		}
+		fmt.Printf("buffered (%d pending)\n", idx.NumBuffered())
+	case "merge":
+		start := time.Now()
+		if err := idx.MergeDeltas(); err != nil {
+			fmt.Println(err)
+			return false
+		}
+		fmt.Printf("merged in %v; table now %d rows\n", time.Since(start), idx.Store().NumRows())
+	case "save":
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			fmt.Println("usage: save <file>")
+			return false
+		}
+		f, err := os.Create(fields[1])
+		if err != nil {
+			fmt.Println(err)
+			return false
+		}
+		err = idx.Save(f)
+		f.Close()
+		if err != nil {
+			fmt.Println(err)
+			return false
+		}
+		fmt.Printf("saved to %s\n", fields[1])
+	case "count", "sum", "explain":
+		q, err := qparse.Parse(line, names)
+		if err != nil {
+			fmt.Println(err)
+			return false
+		}
+		if verb == "explain" {
+			fmt.Print(idx.Explain(q))
+			return false
+		}
+		start := time.Now()
+		res := idx.Execute(q)
+		elapsed := time.Since(start)
+		if verb == "sum" {
+			fmt.Printf("sum=%d count=%d (scanned %d rows in %v)\n", res.Sum, res.Count, res.PointsScanned, elapsed)
+		} else {
+			fmt.Printf("count=%d (scanned %d rows in %v)\n", res.Count, res.PointsScanned, elapsed)
+		}
+	default:
+		fmt.Printf("unknown command %q (try help)\n", verb)
+	}
+	return false
+}
+
+func generate(name string, rows, dims int, seed int64) *datasets.Dataset {
+	switch strings.ToLower(name) {
+	case "tpch":
+		return datasets.TPCH(rows, seed)
+	case "taxi":
+		return datasets.Taxi(rows, seed)
+	case "perfmon":
+		return datasets.Perfmon(rows, seed)
+	case "stocks":
+		return datasets.Stocks(rows, seed)
+	case "uniform":
+		return datasets.SyntheticUniform(rows, dims, seed)
+	case "correlated":
+		return datasets.SyntheticCorrelated(rows, dims, seed)
+	default:
+		fatal(fmt.Errorf("unknown dataset %q", name))
+		return nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tsunami-cli:", err)
+	os.Exit(1)
+}

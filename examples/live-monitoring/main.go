@@ -1,0 +1,104 @@
+// Live monitoring pipeline: exercises the paper's §8 extensions end to
+// end. A Perfmon-like metrics table serves dashboard queries while new
+// samples stream in (buffered in delta siblings), the workload drifts from
+// "recent high load" dashboards to "historical memory audit" reports, a
+// shift detector notices, and the index re-optimizes for the new workload.
+//
+//	go run ./examples/live-monitoring
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	tsunami "repro"
+)
+
+func main() {
+	const rows = 120_000
+	ds := tsunami.GeneratePerfmon(rows, 1)
+
+	dashboards := tsunami.GenerateWorkload(ds.Store, []tsunami.TypeSpec{
+		{Name: "recent-high-load", Dims: []tsunami.DimSpec{
+			{Dim: 0, Sel: 0.08, Jitter: 0.2, Skew: tsunami.SkewRecent}, // time
+			{Dim: 4, Sel: 0.1, Jitter: 0.2, Skew: tsunami.SkewRecent},  // load1
+		}},
+		{Name: "recent-cpu", Dims: []tsunami.DimSpec{
+			{Dim: 0, Sel: 0.1, Jitter: 0.2, Skew: tsunami.SkewRecent},
+			{Dim: 2, Sel: 0.1, Jitter: 0.2, Skew: tsunami.SkewRecent}, // cpu_user
+		}},
+	}, 100, 2)
+
+	idx := tsunami.New(ds.Store, dashboards, tsunami.Options{})
+	det := tsunami.NewShiftDetector(ds.Store, dashboards, tsunami.ShiftConfig{WindowSize: 120})
+	fmt.Printf("built index over %d rows; detector fingerprinted %d query types\n",
+		rows, det.NumTypes())
+
+	// Phase 1: normal operation — dashboard queries plus streaming inserts.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		if err := idx.Insert([]int64{
+			525000 + rng.Int63n(600), // fresh timestamps
+			rng.Int63n(1000),
+			rng.Int63n(10000), rng.Int63n(5000),
+			rng.Int63n(3000), rng.Int63n(3000),
+			500 + rng.Int63n(9500),
+		}); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("phase 1: %d samples buffered in delta siblings\n", idx.NumBuffered())
+	// Serve a live mix of both dashboard types.
+	for k := 0; k < 70; k++ {
+		for _, q := range []tsunami.Query{dashboards[k], dashboards[100+k]} {
+			idx.Execute(q)
+			det.Observe(q)
+		}
+	}
+	fmt.Printf("phase 1: dashboard latency %v, shift detected: %v\n",
+		avg(idx, dashboards[:100]), det.Analyze().ShiftDetected)
+
+	// Fold the buffered samples into the clustered layout.
+	if err := idx.MergeDeltas(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("merged deltas: table now %d rows, buffer empty: %v\n",
+		idx.Store().NumRows(), idx.NumBuffered() == 0)
+
+	// Phase 2: the workload drifts to historical audits.
+	audits := tsunami.GenerateWorkload(idx.Store(), []tsunami.TypeSpec{
+		{Name: "memory-audit", Dims: []tsunami.DimSpec{
+			{Dim: 6, Sel: 0.05, Jitter: 0.2, Skew: tsunami.SkewExtremes}, // mem
+			{Dim: 0, Sel: 0.3, Jitter: 0.2, Skew: tsunami.SkewLow},       // old data
+		}},
+		{Name: "machine-history", Dims: []tsunami.DimSpec{
+			{Dim: 1, Sel: 0.02, Jitter: 0.2, Skew: tsunami.SkewUniform}, // machine
+			{Dim: 0, Sel: 0.5, Jitter: 0.2, Skew: tsunami.SkewLow},
+		}},
+	}, 100, 4)
+	for _, q := range audits[:150] {
+		det.Observe(q)
+	}
+	rep := det.Analyze()
+	fmt.Printf("phase 2: audit latency on stale layout %v; detector: novel=%.0f%% drift=%.2f shift=%v\n",
+		avg(idx, audits[:100]), 100*rep.NovelFrac, rep.FreqDrift, rep.ShiftDetected)
+
+	// Phase 3: re-optimize for the drifted workload.
+	if rep.ShiftDetected {
+		reopt, secs := idx.Reoptimize(audits)
+		fmt.Printf("phase 3: re-optimized in %.2fs; audit latency now %v\n",
+			secs, avg(reopt, audits[:100]))
+	}
+}
+
+func avg(idx tsunami.Index, qs []tsunami.Query) time.Duration {
+	for _, q := range qs {
+		idx.Execute(q)
+	}
+	start := time.Now()
+	for _, q := range qs {
+		idx.Execute(q)
+	}
+	return time.Since(start) / time.Duration(len(qs))
+}

@@ -1,0 +1,77 @@
+// Quickstart: build a Tsunami index over a small sales table and run a few
+// multi-dimensional aggregation queries against it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	tsunami "repro"
+)
+
+func main() {
+	// A sales fact table: day, store id, price (cents), quantity. Prices
+	// are loosely correlated with quantity, and recent days are generated
+	// more densely — the kind of data Tsunami is built for.
+	const n = 200_000
+	rng := rand.New(rand.NewSource(7))
+	day := make([]int64, n)
+	store := make([]int64, n)
+	price := make([]int64, n)
+	qty := make([]int64, n)
+	for i := range day {
+		day[i] = rng.Int63n(730) // two years
+		store[i] = rng.Int63n(50)
+		qty[i] = 1 + rng.Int63n(20)
+		price[i] = qty[i]*199 + rng.Int63n(500) // correlated with quantity
+	}
+	table, err := tsunami.NewTable([][]int64{day, store, price, qty},
+		[]string{"day", "store", "price", "qty"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A sample workload: the optimizer tailors the index to it. Most
+	// queries ask about the most recent month; a few sweep a price band
+	// over all time.
+	var workload []tsunami.Query
+	for i := 0; i < 100; i++ {
+		d0 := 700 + rng.Int63n(25)
+		workload = append(workload, tsunami.Count(
+			tsunami.Filter{Dim: 0, Lo: d0, Hi: d0 + 5},
+			tsunami.Filter{Dim: 1, Lo: rng.Int63n(40), Hi: rng.Int63n(10) + 40},
+		))
+		p0 := rng.Int63n(3000)
+		workload = append(workload, tsunami.Count(
+			tsunami.Filter{Dim: 2, Lo: p0, Hi: p0 + 400},
+		))
+	}
+
+	idx := tsunami.New(table, workload, tsunami.Options{})
+
+	// COUNT: how many sales did stores 10-19 make in the last week?
+	q1 := tsunami.Count(
+		tsunami.Filter{Dim: 0, Lo: 723, Hi: 729},
+		tsunami.Filter{Dim: 1, Lo: 10, Hi: 19},
+	)
+	r1 := idx.Execute(q1)
+	fmt.Printf("sales by stores 10-19 in the last week: %d (scanned %d of %d rows)\n",
+		r1.Count, r1.PointsScanned, n)
+
+	// SUM: total revenue from large orders in a price band.
+	q2 := tsunami.Sum(2,
+		tsunami.Filter{Dim: 2, Lo: 2000, Hi: 2600},
+		tsunami.Filter{Dim: 3, Lo: 10, Hi: 20},
+	)
+	r2 := idx.Execute(q2)
+	fmt.Printf("revenue from large orders at 20.00-26.00: %d.%02d (count %d)\n",
+		r2.Sum/100, r2.Sum%100, r2.Count)
+
+	// The optimized structure (Tab 4 of the paper).
+	s := idx.IndexStats()
+	fmt.Printf("index: %d Grid Tree nodes (depth %d), %d regions, %d grid cells, %d bytes\n",
+		s.NumGridTreeNodes, s.GridTreeDepth, s.NumLeafRegions, s.TotalGridCells, idx.SizeBytes())
+}

@@ -1,0 +1,68 @@
+// Taxi analytics: the paper's motivating scenario (§6.2). Generates the
+// NYC-taxi-like dataset, builds Tsunami and every baseline over it, and
+// answers the paper's example analytics questions on each, comparing work
+// done.
+//
+//	go run ./examples/taxi-analytics
+package main
+
+import (
+	"fmt"
+
+	tsunami "repro"
+)
+
+func main() {
+	const rows = 150_000
+	ds := tsunami.GenerateTaxi(rows, 1)
+	work := tsunami.WorkloadFor(ds, 100, 2)
+	fmt.Printf("dataset: %s, %d rows, %d dims; workload: %d queries\n",
+		ds.Name, ds.Rows(), ds.Dims(), len(work))
+
+	idx := tsunami.New(ds.Store, work, tsunami.Options{})
+	flood := tsunami.NewFlood(ds.Store, work, tsunami.Options{})
+	kd := tsunami.NewKDTree(ds.Store, work, 2048)
+	zo := tsunami.NewZOrder(ds.Store, 2048)
+
+	// "How common were single-passenger trips between two particular parts
+	// of Manhattan?" — an equality filter plus two zone ranges.
+	q1 := tsunami.Count(
+		tsunami.Filter{Dim: 6, Lo: 1, Hi: 1},    // passengers == 1
+		tsunami.Filter{Dim: 7, Lo: 30, Hi: 60},  // pickup zone
+		tsunami.Filter{Dim: 8, Lo: 90, Hi: 120}, // dropoff zone
+	)
+
+	// "What month of the past year saw the most short-distance trips?" —
+	// twelve month-window COUNTs over recent data with a distance filter.
+	const minutesPerMonth = 30 * 24 * 60
+	const yearStart = 365 * 24 * 60 // second year of the two-year span
+	months := make([]tsunami.Query, 12)
+	for m := range months {
+		lo := int64(yearStart + m*minutesPerMonth)
+		months[m] = tsunami.Count(
+			tsunami.Filter{Dim: 0, Lo: lo, Hi: lo + minutesPerMonth - 1},
+			tsunami.Filter{Dim: 2, Lo: 0, Hi: 100}, // short trips: <= 1 mile
+		)
+	}
+
+	for _, entry := range []struct {
+		name string
+		idx  tsunami.Index
+	}{{"Tsunami", idx}, {"Flood", flood}, {"KDTree", kd}, {"ZOrder", zo}} {
+		r1 := entry.idx.Execute(q1)
+		var bestMonth int
+		var bestCount, monthScan uint64
+		for m, q := range months {
+			r := entry.idx.Execute(q)
+			monthScan += r.PointsScanned
+			if r.Count > bestCount {
+				bestCount, bestMonth = r.Count, m
+			}
+		}
+		fmt.Printf("%-8s single-pax Manhattan trips: %5d (scanned %6d); busiest short-trip month: #%d with %d trips (scanned %d)\n",
+			entry.name, r1.Count, r1.PointsScanned, bestMonth+1, bestCount, monthScan)
+	}
+
+	fmt.Printf("\nindex sizes: Tsunami=%dB Flood=%dB KDTree=%dB ZOrder=%dB\n",
+		idx.SizeBytes(), flood.SizeBytes(), kd.SizeBytes(), zo.SizeBytes())
+}

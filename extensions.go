@@ -1,0 +1,69 @@
+package tsunami
+
+import (
+	"io"
+
+	"repro/internal/catorder"
+	"repro/internal/core"
+	"repro/internal/shift"
+)
+
+// This file exposes the paper's §8 future-work extensions, implemented in
+// this repository:
+//
+//   - insertions through per-region delta buffers (TsunamiIndex.Insert /
+//     MergeDeltas, the differential-file scheme the paper cites);
+//   - workload-shift detection (ShiftDetector);
+//   - outlier-robust functional mappings (Options via NewRobust);
+//   - co-access ordering for categorical dimensions (CategoricalRemap).
+
+// ShiftDetector watches a live query stream and reports when it has
+// drifted enough from the optimized workload to warrant re-optimization
+// (§8: a query type disappears, a new type appears, or type frequencies
+// change).
+type ShiftDetector = shift.Detector
+
+// ShiftReport summarizes a detector window.
+type ShiftReport = shift.Report
+
+// ShiftConfig tunes detection sensitivity.
+type ShiftConfig = shift.Config
+
+// NewShiftDetector fingerprints the workload an index was optimized for.
+// Feed live queries to Observe and poll Analyze; on ShiftDetected, call
+// TsunamiIndex.Reoptimize with the recent workload.
+func NewShiftDetector(table *Table, optimized []Query, cfg ShiftConfig) *ShiftDetector {
+	return shift.NewDetector(table, optimized, cfg)
+}
+
+// CategoricalRemap is a learned dictionary re-encoding for one categorical
+// dimension that places co-accessed values in adjacent codes (§8), so
+// queries intersect fewer grid partitions.
+type CategoricalRemap = catorder.Remap
+
+// LearnCategoricalOrder learns a co-access-aware code assignment for
+// dimension dim from the table and a typed sample workload. Apply it to
+// the column before building an index (ApplyColumn) and to incoming
+// queries (RewriteQuery).
+func LearnCategoricalOrder(table *Table, workload []Query, dim int) *CategoricalRemap {
+	return catorder.Learn(table.Column(dim), workload, dim)
+}
+
+// Load reconstructs an index previously written with TsunamiIndex.Save
+// (§8 "Persistence"): the clustered column data, Grid Tree, and region
+// grids round-trip without re-optimization.
+func Load(r io.Reader) (*TsunamiIndex, error) { return core.Load(r) }
+
+// Trace is an EXPLAIN-style query execution report; see
+// TsunamiIndex.Explain.
+type Trace = core.Trace
+
+// NewRobust is New with outlier-robust functional mappings enabled (§8):
+// up to outlierFrac of the rows may be diverted to per-grid outlier
+// buffers so that a few stragglers don't inflate the mappings' error
+// bands. Useful on dirty data; on clean data it behaves like New.
+func NewRobust(table *Table, workload []Query, o Options, outlierFrac float64) *TsunamiIndex {
+	cfg := o.coreConfig(core.FullTsunami)
+	cfg.Grid.OutlierFrac = outlierFrac
+	return core.Build(table, workload, cfg)
+}

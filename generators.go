@@ -1,0 +1,65 @@
+package tsunami
+
+import (
+	"repro/internal/datasets"
+	"repro/internal/workload"
+)
+
+// The paper's evaluation datasets (§6.2) are available as seeded synthetic
+// generators with the same schemas and correlation structure, plus the
+// workload synthesizer that produces each dataset's query types.
+
+// Dataset is a named generated table.
+type Dataset = datasets.Dataset
+
+// GenerateTPCH generates the 8-dimensional TPC-H lineitem-like dataset.
+func GenerateTPCH(rows int, seed int64) *Dataset { return datasets.TPCH(rows, seed) }
+
+// GenerateTaxi generates the 9-dimensional NYC-taxi-like dataset.
+func GenerateTaxi(rows int, seed int64) *Dataset { return datasets.Taxi(rows, seed) }
+
+// GeneratePerfmon generates the 7-dimensional machine-monitoring dataset.
+func GeneratePerfmon(rows int, seed int64) *Dataset { return datasets.Perfmon(rows, seed) }
+
+// GenerateStocks generates the 7-dimensional daily-stock-prices dataset.
+func GenerateStocks(rows int, seed int64) *Dataset { return datasets.Stocks(rows, seed) }
+
+// GenerateUniform generates d-dimensional i.i.d. uniform data (Fig 10).
+func GenerateUniform(rows, dims int, seed int64) *Dataset {
+	return datasets.SyntheticUniform(rows, dims, seed)
+}
+
+// GenerateCorrelated generates d-dimensional data whose second half of
+// dimensions is linearly correlated with the first half (Fig 10).
+func GenerateCorrelated(rows, dims int, seed int64) *Dataset {
+	return datasets.SyntheticCorrelated(rows, dims, seed)
+}
+
+// WorkloadSkew biases where a query template's filters land.
+type WorkloadSkew = workload.Skew
+
+// Skew values for query templates.
+const (
+	SkewUniform  = workload.Uniform
+	SkewRecent   = workload.Recent
+	SkewLow      = workload.Low
+	SkewExtremes = workload.Extremes
+)
+
+// DimSpec is one filtered dimension of a query template.
+type DimSpec = workload.DimSpec
+
+// TypeSpec is a query template — one "query type" in the paper's sense
+// (§4.3.1): a fixed set of filtered dimensions with similar selectivities.
+type TypeSpec = workload.TypeSpec
+
+// GenerateWorkload synthesizes perType queries per template over the
+// table's value distribution.
+func GenerateWorkload(table *Table, types []TypeSpec, perType int, seed int64) []Query {
+	return workload.Generate(table, types, perType, seed)
+}
+
+// WorkloadFor returns the paper's workload for a generated dataset.
+func WorkloadFor(d *Dataset, perType int, seed int64) []Query {
+	return workload.ForDataset(d, perType, seed)
+}

@@ -1,0 +1,367 @@
+package auggrid
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cdfmodel"
+	"repro/internal/colstore"
+	"repro/internal/stats"
+)
+
+// Grid is a built Augmented Grid over a contiguous physical range of a
+// column store. Construction is two-phase so a parent structure (the Grid
+// Tree) can compose multiple grids into one global clustered layout:
+//
+//  1. Build computes all layout structures and returns the region's rows in
+//     grid order; the caller concatenates row orders, reorders the store.
+//  2. Finalize binds the grid to the reordered store at its start offset.
+type Grid struct {
+	layout Layout
+	store  *colstore.Store
+	start  int // physical offset of this grid's first row
+	n      int // number of rows
+
+	// gridDims is the row-major cell ordering of the grid's dims, arranged
+	// so every conditional dim comes after its base (bases are independent,
+	// so independents-then-conditionals suffices). This lets query
+	// enumeration fix base partitions before dependents while walking in
+	// stride order.
+	gridDims []int
+	strides  []int // stride per grid dim (aligned with gridDims)
+	posOf    []int // dim -> position in gridDims, -1 if not a grid dim
+
+	// Per-query scratch, reused across Execute calls. A Grid is therefore
+	// not safe for concurrent queries; clone the index per goroutine (the
+	// paper's evaluation is single-threaded, §6.1).
+	runScratch   []run
+	rangeScratch []dimRange
+	idxScratch   []int
+	effScratch   [2][]int64
+
+	// Independent dims: partition boundaries, len P[d]+1.
+	bounds map[int][]int64
+	// Conditional dims: per-base-partition boundaries, [pBase][P[d]+1].
+	condBounds map[int][][]int64
+	// Mapped dims: functional mapping predicting target value from this
+	// dim's value.
+	mappings map[int]stats.LinReg
+	// Observed per-dim min/max, used to clamp unbounded filters before
+	// applying functional mappings.
+	dimLo, dimHi []int64
+
+	// offsets[c] is the physical start (absolute, after Finalize) of cell c;
+	// len NumCells+1. Offsets cover only inlier rows; the nOutliers rows
+	// diverted by robust functional mappings (§8) sit immediately after
+	// the last cell and are scanned by every query.
+	offsets   []int
+	nOutliers int
+}
+
+// Build computes the grid structures for layout over the given rows of st
+// (st not yet reordered) and returns the rows sorted into grid order:
+// by cell id, then by the sort dimension within each cell.
+func Build(st *colstore.Store, rows []int, layout Layout) (*Grid, []int, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(layout.Skeleton) != st.NumDims() {
+		return nil, nil, fmt.Errorf("auggrid: layout has %d dims, store has %d", len(layout.Skeleton), st.NumDims())
+	}
+	g := &Grid{
+		layout:     layout.Clone(),
+		n:          len(rows),
+		gridDims:   gridDimsTopological(layout),
+		bounds:     make(map[int][]int64),
+		condBounds: make(map[int][][]int64),
+		mappings:   make(map[int]stats.LinReg),
+	}
+	g.layout.normalize()
+	g.posOf = make([]int, st.NumDims())
+	for j := range g.posOf {
+		g.posOf[j] = -1
+	}
+	for k, j := range g.gridDims {
+		g.posOf[j] = k
+	}
+
+	d := st.NumDims()
+	g.dimLo = make([]int64, d)
+	g.dimHi = make([]int64, d)
+	for j := 0; j < d; j++ {
+		lo, hi := minMaxRows(st.Column(j), rows)
+		g.dimLo[j], g.dimHi[j] = lo, hi
+	}
+
+	// Strides for row-major cell ids over grid dims.
+	g.strides = make([]int, len(g.gridDims))
+	stride := 1
+	for i := len(g.gridDims) - 1; i >= 0; i-- {
+		g.strides[i] = stride
+		stride *= g.layout.P[g.gridDims[i]]
+	}
+	numCells := stride
+
+	// Phase 1: independent boundaries and functional mappings. With
+	// OutlierFrac > 0 the mappings are fit robustly and the rows outside
+	// the trimmed error band are diverted to the outlier buffer (§8).
+	var outlier []bool
+	for j := 0; j < d; j++ {
+		switch g.layout.Skeleton[j].Kind {
+		case Independent:
+			p := g.layout.P[j]
+			vals := gather(st.Column(j), rows)
+			m := cdfmodel.NewSample(vals, sampleFor(len(rows), p))
+			g.bounds[j] = cdfmodel.Boundaries(m, p)
+		case Mapped:
+			target := g.layout.Skeleton[j].Other
+			x := gather(st.Column(j), rows)
+			y := gather(st.Column(target), rows)
+			lr, out := robustFit(x, y, g.layout.OutlierFrac)
+			g.mappings[j] = lr
+			for i, o := range out {
+				if o {
+					if outlier == nil {
+						outlier = make([]bool, len(rows))
+					}
+					outlier[i] = true
+				}
+			}
+		}
+	}
+	inlierRows := rows
+	var outlierRows []int
+	if outlier != nil {
+		inlierRows = make([]int, 0, len(rows))
+		for i, r := range rows {
+			if outlier[i] {
+				outlierRows = append(outlierRows, r)
+			} else {
+				inlierRows = append(inlierRows, r)
+			}
+		}
+		g.nOutliers = len(outlierRows)
+	}
+
+	// Phase 2: conditional boundaries (bases are Independent, so their
+	// boundaries exist now).
+	for j := 0; j < d; j++ {
+		if g.layout.Skeleton[j].Kind != Conditional {
+			continue
+		}
+		base := g.layout.Skeleton[j].Other
+		pBase := g.layout.P[base]
+		p := g.layout.P[j]
+		groups := make([][]int64, pBase)
+		baseCol := st.Column(base)
+		col := st.Column(j)
+		for _, r := range inlierRows {
+			b := g.partIndep(base, baseCol[r])
+			groups[b] = append(groups[b], col[r])
+		}
+		cb := make([][]int64, pBase)
+		for b, vals := range groups {
+			if len(vals) == 0 {
+				// Empty base partition: degenerate single-point boundaries.
+				cb[b] = make([]int64, p+1)
+				continue
+			}
+			m := cdfmodel.NewSample(vals, sampleFor(len(vals), p))
+			cb[b] = cdfmodel.Boundaries(m, p)
+		}
+		g.condBounds[j] = cb
+	}
+
+	// Phase 3: assign cells to inlier rows, order them (cell-major, sort
+	// dim within cells), count offsets, and append the outlier buffer.
+	cells := make([]int, len(inlierRows))
+	for i, r := range inlierRows {
+		cells[i] = g.cellOfRow(st, r)
+	}
+	order := make([]int, len(inlierRows))
+	for i := range order {
+		order[i] = i
+	}
+	var sortCol []int64
+	if g.layout.SortDim >= 0 {
+		sortCol = st.Column(g.layout.SortDim)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := cells[order[a]], cells[order[b]]
+		if ca != cb {
+			return ca < cb
+		}
+		if sortCol != nil {
+			return sortCol[inlierRows[order[a]]] < sortCol[inlierRows[order[b]]]
+		}
+		return false
+	})
+	orderedRows := make([]int, 0, len(rows))
+	for _, o := range order {
+		orderedRows = append(orderedRows, inlierRows[o])
+	}
+	orderedRows = append(orderedRows, outlierRows...)
+
+	g.offsets = make([]int, numCells+1)
+	for _, c := range cells {
+		g.offsets[c+1]++
+	}
+	for c := 1; c <= numCells; c++ {
+		g.offsets[c] += g.offsets[c-1]
+	}
+	return g, orderedRows, nil
+}
+
+// Finalize binds the grid to the physically reordered store. Rows
+// [start, start+n) of st must be this grid's rows in the order returned by
+// Build.
+func (g *Grid) Finalize(st *colstore.Store, start int) {
+	g.store = st
+	g.start = start
+	for i := range g.offsets {
+		g.offsets[i] += start
+	}
+}
+
+// gridDimsTopological returns the grid dims (not mapped, not the sort dim)
+// ordered with independents first, then conditionals, so bases always
+// precede their dependents in stride order.
+func gridDimsTopological(l Layout) []int {
+	var out []int
+	for i, st := range l.Skeleton {
+		if st.Kind == Independent && i != l.SortDim {
+			out = append(out, i)
+		}
+	}
+	for i, st := range l.Skeleton {
+		if st.Kind == Conditional && i != l.SortDim {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// sampleFor picks a CDF sample size: enough resolution for p partitions
+// without sorting more than needed.
+func sampleFor(n, p int) int {
+	s := 16 * p
+	if s < 1024 {
+		s = 1024
+	}
+	if s >= n {
+		return 0 // exact
+	}
+	return s
+}
+
+func gather(col []int64, rows []int) []int64 {
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = col[r]
+	}
+	return out
+}
+
+func minMaxRows(col []int64, rows []int) (int64, int64) {
+	if len(rows) == 0 {
+		return 0, 0
+	}
+	lo, hi := col[rows[0]], col[rows[0]]
+	for _, r := range rows[1:] {
+		v := col[r]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// partIndep returns the partition of value v in independent dim j by binary
+// search over the boundary array, clamped to [0, P[j]-1].
+func (g *Grid) partIndep(j int, v int64) int {
+	b := g.bounds[j]
+	i := sort.Search(len(b), func(i int) bool { return b[i] > v }) - 1
+	return clampPart(i, g.layout.P[j])
+}
+
+// partCond returns the partition of value v in conditional dim j given the
+// base partition bp.
+func (g *Grid) partCond(j, bp int, v int64) int {
+	b := g.condBounds[j][bp]
+	i := sort.Search(len(b), func(i int) bool { return b[i] > v }) - 1
+	return clampPart(i, g.layout.P[j])
+}
+
+func clampPart(i, p int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= p {
+		return p - 1
+	}
+	return i
+}
+
+// cellOfRow computes the row-major cell id of store row r.
+func (g *Grid) cellOfRow(st *colstore.Store, r int) int {
+	cell := 0
+	for k, j := range g.gridDims {
+		var idx int
+		switch g.layout.Skeleton[j].Kind {
+		case Independent:
+			idx = g.partIndep(j, st.Value(r, j))
+		case Conditional:
+			base := g.layout.Skeleton[j].Other
+			bp := g.partIndep(base, st.Value(r, base))
+			idx = g.partCond(j, bp, st.Value(r, j))
+		}
+		cell += idx * g.strides[k]
+	}
+	return cell
+}
+
+// ReaderClone returns a grid sharing all immutable structure (boundaries,
+// mappings, offsets, store) with g but owning its own per-query scratch,
+// so the clone can Execute concurrently with g. The underlying store must
+// not be mutated while readers are active.
+func (g *Grid) ReaderClone() *Grid {
+	clone := *g
+	clone.runScratch = nil
+	clone.rangeScratch = nil
+	clone.idxScratch = nil
+	clone.effScratch = [2][]int64{}
+	return &clone
+}
+
+// Layout returns the grid's layout.
+func (g *Grid) Layout() Layout { return g.layout }
+
+// NumCells returns the total number of grid cells.
+func (g *Grid) NumCells() int { return len(g.offsets) - 1 }
+
+// NumRows returns the number of rows the grid indexes.
+func (g *Grid) NumRows() int { return g.n }
+
+// Start returns the grid's physical start offset.
+func (g *Grid) Start() int { return g.start }
+
+// SizeBytes reports the structure footprint: the cell lookup table (which
+// dominates, §6.3), partition boundaries, conditional CDF tables, and the
+// four floats of each functional mapping.
+func (g *Grid) SizeBytes() uint64 {
+	size := uint64(len(g.offsets)) * 8 // lookup table
+	for _, b := range g.bounds {
+		size += uint64(len(b)) * 8
+	}
+	for _, cb := range g.condBounds {
+		for _, b := range cb {
+			size += uint64(len(b)) * 8
+		}
+	}
+	size += uint64(len(g.mappings)) * 32 // slope, intercept, el, eu (§5.2.1)
+	size += uint64(len(g.dimLo)) * 16
+	return size
+}

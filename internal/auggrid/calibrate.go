@@ -1,0 +1,65 @@
+package auggrid
+
+import (
+	"math/rand"
+	"time"
+)
+
+// CalibrateWeights micro-measures the cost model's coefficients on the
+// current machine (§5.3.1: w0 is a lookup plus the cache miss of jumping
+// to a new physical range, w1 is the per-value scan cost). The measurement
+// takes a few milliseconds. DefaultCostWeights is used when calibration is
+// skipped; calibrating tightens the Fig 12b predicted-vs-actual agreement
+// on machines that differ a lot from the defaults.
+func CalibrateWeights() CostWeights {
+	const n = 1 << 20
+	data := make([]int64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range data {
+		data[i] = rng.Int63n(1000)
+	}
+
+	// W1: sequential scan cost per value, with a filter check like
+	// colstore.ScanRange's inner loop.
+	var sink int64
+	start := time.Now()
+	passes := 0
+	for time.Since(start) < 10*time.Millisecond {
+		for _, v := range data {
+			if v >= 100 && v <= 900 {
+				sink++
+			}
+		}
+		passes++
+	}
+	w1 := float64(time.Since(start).Nanoseconds()) / float64(passes*n)
+
+	// W0: random-range jump cost — a dependent random access per jump,
+	// defeating the prefetcher like a fresh cell range does.
+	jumps := make([]int, 1<<14)
+	for i := range jumps {
+		jumps[i] = rng.Intn(n)
+	}
+	start = time.Now()
+	passes = 0
+	for time.Since(start) < 10*time.Millisecond {
+		idx := 0
+		for range jumps {
+			idx = int(data[jumps[idx&(len(jumps)-1)]]) & (len(jumps) - 1)
+			sink += int64(idx)
+		}
+		passes++
+	}
+	w0 := float64(time.Since(start).Nanoseconds()) / float64(passes*len(jumps))
+	// A range costs a lookup-table access plus the miss itself.
+	w0 *= 2
+
+	_ = sink
+	if w1 <= 0 {
+		w1 = DefaultCostWeights().W1
+	}
+	if w0 <= 0 {
+		w0 = DefaultCostWeights().W0
+	}
+	return CostWeights{W0: w0, W1: w1, W2: w0 / 20}
+}

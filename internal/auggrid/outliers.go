@@ -1,0 +1,58 @@
+package auggrid
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Outlier-robust functional mappings (§8 "Complex Correlations"): a plain
+// least-squares mapping's error band is set by its worst residual, so one
+// outlier can make the mapping useless. Following the paper's proposed fix
+// (and Hermit [Wu et al. 2019]), the mapping can instead be fit on the
+// central mass of residuals, with the outlying rows diverted to a separate
+// buffer that every query scans. The buffer is tiny (a configurable
+// fraction of rows), so the scan cost is negligible while the error band —
+// and with it the number of points scanned through the grid — shrinks
+// dramatically.
+
+// robustFit fits y≈ax+b and tightens the residual band to exclude up to
+// outlierFrac of the points; the boolean slice marks the excluded rows.
+// With outlierFrac <= 0 it degenerates to the plain fit and marks nothing.
+func robustFit(x, y []int64, outlierFrac float64) (stats.LinReg, []bool) {
+	lr := stats.FitLinReg(x, y)
+	n := len(x)
+	if outlierFrac <= 0 || n == 0 {
+		return lr, nil
+	}
+	res := make([]float64, n)
+	for i := 0; i < n; i++ {
+		res[i] = float64(y[i]) - lr.Predict(float64(x[i]))
+	}
+	sorted := append([]float64(nil), res...)
+	sort.Float64s(sorted)
+	// Trim half the budget from each tail.
+	k := int(outlierFrac * float64(n) / 2)
+	if k >= n/2 {
+		k = n/2 - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	lo, hi := sorted[k], sorted[n-1-k]
+	if lo > 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	trimmed := lr
+	trimmed.ErrLo, trimmed.ErrHi = lo, hi
+	out := make([]bool, n)
+	for i, r := range res {
+		if r < lo || r > hi {
+			out[i] = true
+		}
+	}
+	return trimmed, out
+}

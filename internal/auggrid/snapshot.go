@@ -1,0 +1,73 @@
+package auggrid
+
+import "repro/internal/stats"
+
+// GridSnapshot is the serializable form of a built Grid (§8 "Persistence":
+// Tsunami's structures are not inherently in-memory-only; this snapshot
+// plus the reordered column data fully reconstruct a queryable index).
+// Offsets are stored relative to the grid's start so the snapshot is
+// position-independent.
+type GridSnapshot struct {
+	Layout     Layout
+	Bounds     map[int][]int64
+	CondBounds map[int][][]int64
+	Mappings   map[int]stats.LinReg
+	DimLo      []int64
+	DimHi      []int64
+	Offsets    []int
+	NOutliers  int
+	N          int
+}
+
+// Snapshot extracts the grid's serializable state.
+func (g *Grid) Snapshot() GridSnapshot {
+	offsets := make([]int, len(g.offsets))
+	for i, o := range g.offsets {
+		offsets[i] = o - g.start
+	}
+	return GridSnapshot{
+		Layout:     g.layout.Clone(),
+		Bounds:     g.bounds,
+		CondBounds: g.condBounds,
+		Mappings:   g.mappings,
+		DimLo:      g.dimLo,
+		DimHi:      g.dimHi,
+		Offsets:    offsets,
+		NOutliers:  g.nOutliers,
+		N:          g.n,
+	}
+}
+
+// FromSnapshot reconstructs a Grid. The caller must Finalize it against
+// the (already correctly ordered) store at the grid's physical start.
+func FromSnapshot(s GridSnapshot) (*Grid, error) {
+	if err := s.Layout.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Grid{
+		layout:     s.Layout.Clone(),
+		n:          s.N,
+		gridDims:   gridDimsTopological(s.Layout),
+		bounds:     s.Bounds,
+		condBounds: s.CondBounds,
+		mappings:   s.Mappings,
+		dimLo:      s.DimLo,
+		dimHi:      s.DimHi,
+		nOutliers:  s.NOutliers,
+	}
+	g.offsets = append([]int(nil), s.Offsets...)
+	g.posOf = make([]int, len(s.Layout.Skeleton))
+	for j := range g.posOf {
+		g.posOf[j] = -1
+	}
+	for k, j := range g.gridDims {
+		g.posOf[j] = k
+	}
+	g.strides = make([]int, len(g.gridDims))
+	stride := 1
+	for i := len(g.gridDims) - 1; i >= 0; i-- {
+		g.strides[i] = stride
+		stride *= g.layout.P[g.gridDims[i]]
+	}
+	return g, nil
+}

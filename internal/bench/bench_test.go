@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func tinyOptions() Options {
+	return Options{Rows: 6000, QueriesPerType: 10, Seed: 5, Quick: true}
+}
+
+func TestRunDispatchUnknown(t *testing.T) {
+	if err := Run(io.Discard, "fig99", tinyOptions()); err == nil {
+		t.Error("unknown experiment id should error")
+	}
+}
+
+func TestTab3Output(t *testing.T) {
+	var buf bytes.Buffer
+	Tab3(&buf, tinyOptions())
+	out := buf.String()
+	for _, want := range []string{"TPC-H", "Taxi", "Perfmon", "Stocks", "query types"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Tab3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7OutputAndCorrectness(t *testing.T) {
+	var buf bytes.Buffer
+	Fig7(&buf, tinyOptions())
+	out := buf.String()
+	if strings.Contains(out, "CORRECTNESS FAILURE") {
+		t.Fatalf("Fig7 detected an incorrect index:\n%s", out)
+	}
+	for _, want := range []string{"Tsunami", "Flood", "KDTree", "ZOrder", "Hyperoctree", "SingleDim", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig7 output missing %q", want)
+		}
+	}
+}
+
+func TestFig12bReportsCostError(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions()
+	Fig12b(&buf, o)
+	out := buf.String()
+	if strings.Contains(out, "INCORRECT") {
+		t.Fatalf("an optimizer produced an incorrect grid:\n%s", out)
+	}
+	for _, want := range []string{"AGD", "GD", "BlackBox", "AGD-NI", "cost-model error"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig12b output missing %q", want)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions()
+	o.Rows = 4000
+	Ablations(&buf, o)
+	out := buf.String()
+	if strings.Contains(out, "CORRECTNESS FAILURE") {
+		t.Fatalf("ablation variant incorrect:\n%s", out)
+	}
+	if !strings.Contains(out, "no functional mappings") {
+		t.Error("ablation output incomplete")
+	}
+}
+
+func TestPrintTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	tb := newTable("a", "bbbb")
+	tb.add("xxxxx", "y")
+	tb.print(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header+sep+row, got %d lines", len(lines))
+	}
+	if len(lines[0]) == 0 || !strings.HasPrefix(lines[2], "xxxxx") {
+		t.Errorf("unexpected table rendering:\n%s", buf.String())
+	}
+}
+
+func TestHumanSizes(t *testing.T) {
+	for _, tc := range []struct {
+		in   uint64
+		want string
+	}{
+		{512, "512B"},
+		{2048, "2.0KiB"},
+		{3 << 20, "3.0MiB"},
+		{1 << 30, "1.0GiB"},
+	} {
+		if got := human(tc.in); got != tc.want {
+			t.Errorf("human(%d) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if q := throughput(1e6); q != 1000 {
+		t.Errorf("throughput(1ms) = %f, want 1000", q)
+	}
+	if q := throughput(0); q != 0 {
+		t.Errorf("throughput(0) = %f, want 0", q)
+	}
+}
+
+func TestOptionsFill(t *testing.T) {
+	o := Options{}.fill()
+	if o.Rows != 200_000 || o.QueriesPerType != 100 || o.Seed != 42 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	q := Options{Quick: true}.fill()
+	if q.Rows != 30_000 || q.QueriesPerType != 40 {
+		t.Errorf("quick defaults wrong: %+v", q)
+	}
+}

@@ -1,0 +1,243 @@
+// Package catorder implements the categorical sort-order optimization the
+// paper proposes as future work (§8): values of a categorical dimension
+// have no meaningful sort order, so they are dictionary-encoded
+// alphanumerically by default; performance improves when values that are
+// commonly accessed together by the same queries receive adjacent codes,
+// because the queries then intersect fewer grid partitions.
+//
+// Learn builds a co-access graph between the values of one dimension from
+// a sample workload (values accessed by the same query type are
+// co-accessed), orders values by a greedy heaviest-edge chaining, and
+// returns a Remap that rewrites both the column and incoming queries.
+package catorder
+
+import (
+	"sort"
+
+	"repro/internal/query"
+)
+
+// Remap is a learned reassignment of dictionary codes for one dimension.
+type Remap struct {
+	// Dim is the dimension the remap applies to.
+	Dim     int
+	forward map[int64]int64
+	reverse map[int64]int64
+}
+
+// Learn computes a co-access-aware code assignment for dimension dim from
+// the column's values and a sample workload. Queries must carry Type ids
+// (as produced by the workload generator or Grid Tree clustering); queries
+// of the same type accessing different values vouch for those values'
+// adjacency.
+func Learn(col []int64, queries []query.Query, dim int) *Remap {
+	// Collect the accessed values per query type.
+	byType := make(map[int]map[int64]int)
+	for _, q := range queries {
+		f, ok := q.Filter(dim)
+		if !ok {
+			continue
+		}
+		m := byType[q.Type]
+		if m == nil {
+			m = make(map[int64]int)
+			byType[q.Type] = m
+		}
+		// Count every distinct column value the filter matches. Categorical
+		// domains are small, so enumerating uniques is cheap.
+		for _, v := range uniques(col) {
+			if f.Matches(v) {
+				m[v]++
+			}
+		}
+	}
+
+	// Build pairwise co-access weights.
+	type edge struct {
+		u, v int64
+		w    int
+	}
+	weights := make(map[[2]int64]int)
+	for _, m := range byType {
+		vals := make([]int64, 0, len(m))
+		for v := range m {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+		for i := 0; i < len(vals); i++ {
+			for j := i + 1; j < len(vals); j++ {
+				k := [2]int64{vals[i], vals[j]}
+				weights[k] += m[vals[i]] * m[vals[j]]
+			}
+		}
+	}
+	edges := make([]edge, 0, len(weights))
+	for k, w := range weights {
+		edges = append(edges, edge{u: k[0], v: k[1], w: w})
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].w != edges[b].w {
+			return edges[a].w > edges[b].w
+		}
+		if edges[a].u != edges[b].u {
+			return edges[a].u < edges[b].u
+		}
+		return edges[a].v < edges[b].v
+	})
+
+	// Greedy chaining: merge value chains by descending edge weight (a
+	// linear-arrangement heuristic akin to agglomerative clustering).
+	chainOf := make(map[int64]*[]int64)
+	for _, e := range edges {
+		cu, uOK := chainOf[e.u]
+		cv, vOK := chainOf[e.v]
+		switch {
+		case !uOK && !vOK:
+			c := &[]int64{e.u, e.v}
+			chainOf[e.u], chainOf[e.v] = c, c
+		case uOK && !vOK:
+			if (*cu)[len(*cu)-1] == e.u {
+				*cu = append(*cu, e.v)
+				chainOf[e.v] = cu
+			} else if (*cu)[0] == e.u {
+				*cu = append([]int64{e.v}, *cu...)
+				chainOf[e.v] = cu
+			}
+		case !uOK && vOK:
+			if (*cv)[len(*cv)-1] == e.v {
+				*cv = append(*cv, e.u)
+				chainOf[e.u] = cv
+			} else if (*cv)[0] == e.v {
+				*cv = append([]int64{e.u}, *cv...)
+				chainOf[e.u] = cv
+			}
+		case cu != cv:
+			// Join chains when the edge connects their endpoints.
+			if (*cu)[len(*cu)-1] == e.u && (*cv)[0] == e.v {
+				*cu = append(*cu, *cv...)
+				for _, v := range *cv {
+					chainOf[v] = cu
+				}
+			} else if (*cv)[len(*cv)-1] == e.v && (*cu)[0] == e.u {
+				*cv = append(*cv, *cu...)
+				for _, v := range *cu {
+					chainOf[v] = cv
+				}
+			}
+		}
+	}
+
+	// Emit codes: chained values first (in chain order), then untouched
+	// values in their natural order.
+	r := &Remap{Dim: dim, forward: make(map[int64]int64), reverse: make(map[int64]int64)}
+	next := int64(0)
+	emitted := make(map[int64]bool)
+	seenChain := make(map[*[]int64]bool)
+	for _, v := range uniques(col) {
+		c, ok := chainOf[v]
+		if !ok || seenChain[c] {
+			continue
+		}
+		seenChain[c] = true
+		for _, cv := range *c {
+			if !emitted[cv] {
+				r.forward[cv] = next
+				r.reverse[next] = cv
+				emitted[cv] = true
+				next++
+			}
+		}
+	}
+	for _, v := range uniques(col) {
+		if !emitted[v] {
+			r.forward[v] = next
+			r.reverse[next] = v
+			emitted[v] = true
+			next++
+		}
+	}
+	return r
+}
+
+// Code returns the new code for an original value (identity for unknown
+// values).
+func (r *Remap) Code(v int64) int64 {
+	if c, ok := r.forward[v]; ok {
+		return c
+	}
+	return v
+}
+
+// Value returns the original value for a new code.
+func (r *Remap) Value(c int64) int64 {
+	if v, ok := r.reverse[c]; ok {
+		return v
+	}
+	return c
+}
+
+// ApplyColumn rewrites a column in place to the new encoding.
+func (r *Remap) ApplyColumn(col []int64) {
+	for i, v := range col {
+		col[i] = r.Code(v)
+	}
+}
+
+// RewriteQuery translates a query to the new encoding. Equality filters
+// map exactly. A range filter maps exactly only when the codes of the
+// values it matches are contiguous; otherwise the rewrite would change the
+// query's meaning, and RewriteQuery reports ok=false so the caller can
+// fall back to the original encoding for that query.
+func (r *Remap) RewriteQuery(q query.Query) (query.Query, bool) {
+	out := q
+	out.Filters = append([]query.Filter(nil), q.Filters...)
+	for i, f := range out.Filters {
+		if f.Dim != r.Dim {
+			continue
+		}
+		if f.IsEquality() {
+			c := r.Code(f.Lo)
+			out.Filters[i].Lo, out.Filters[i].Hi = c, c
+			continue
+		}
+		lo, hi := int64(1)<<62, int64(-1)<<62
+		matched := 0
+		for v, c := range r.forward {
+			if f.Matches(v) {
+				matched++
+				if c < lo {
+					lo = c
+				}
+				if c > hi {
+					hi = c
+				}
+			}
+		}
+		if matched == 0 {
+			// No known value matches: an empty range is exact.
+			out.Filters[i].Lo, out.Filters[i].Hi = 1, 0
+			continue
+		}
+		if int64(matched) != hi-lo+1 {
+			return q, false // matched codes not contiguous
+		}
+		out.Filters[i].Lo, out.Filters[i].Hi = lo, hi
+	}
+	return out, true
+}
+
+// NumValues returns the learned dictionary size.
+func (r *Remap) NumValues() int { return len(r.forward) }
+
+func uniques(col []int64) []int64 {
+	seen := make(map[int64]bool)
+	var out []int64
+	for _, v := range col {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

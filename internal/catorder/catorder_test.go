@@ -1,0 +1,178 @@
+package catorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// fixture: a categorical column with 8 values; two query types access
+// interleaved value groups {0, 2, 4, 6} and {1, 3, 5, 7}.
+func fixture(n int, seed int64) ([]int64, []query.Query) {
+	rng := rand.New(rand.NewSource(seed))
+	col := make([]int64, n)
+	for i := range col {
+		col[i] = rng.Int63n(8)
+	}
+	var qs []query.Query
+	for i := 0; i < 40; i++ {
+		evens := query.NewCount(query.Filter{Dim: 0, Lo: int64(2 * (i % 4)), Hi: int64(2 * (i % 4))})
+		evens.Type = 0
+		odds := query.NewCount(query.Filter{Dim: 0, Lo: int64(2*(i%4) + 1), Hi: int64(2*(i%4) + 1)})
+		odds.Type = 1
+		qs = append(qs, evens, odds)
+	}
+	return col, qs
+}
+
+func TestLearnGroupsCoAccessedValues(t *testing.T) {
+	col, qs := fixture(2000, 1)
+	r := Learn(col, qs, 0)
+	if r.NumValues() != 8 {
+		t.Fatalf("values = %d, want 8", r.NumValues())
+	}
+	// The four even values should receive contiguous codes, as should the
+	// four odd values.
+	evenCodes := []int64{r.Code(0), r.Code(2), r.Code(4), r.Code(6)}
+	oddCodes := []int64{r.Code(1), r.Code(3), r.Code(5), r.Code(7)}
+	if span(evenCodes) != 3 {
+		t.Errorf("even group codes %v not contiguous", evenCodes)
+	}
+	if span(oddCodes) != 3 {
+		t.Errorf("odd group codes %v not contiguous", oddCodes)
+	}
+}
+
+func span(codes []int64) int64 {
+	lo, hi := codes[0], codes[0]
+	for _, c := range codes {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	return hi - lo
+}
+
+func TestRemapIsBijective(t *testing.T) {
+	col, qs := fixture(2000, 2)
+	r := Learn(col, qs, 0)
+	seen := make(map[int64]bool)
+	for v := int64(0); v < 8; v++ {
+		c := r.Code(v)
+		if seen[c] {
+			t.Fatalf("code %d assigned twice", c)
+		}
+		seen[c] = true
+		if r.Value(c) != v {
+			t.Fatalf("Value(Code(%d)) = %d", v, r.Value(c))
+		}
+	}
+}
+
+func TestApplyColumnPreservesCounts(t *testing.T) {
+	col, qs := fixture(2000, 3)
+	orig := append([]int64(nil), col...)
+	r := Learn(col, qs, 0)
+	r.ApplyColumn(col)
+	// Count of each original value must equal count of its code.
+	origCount := map[int64]int{}
+	newCount := map[int64]int{}
+	for i := range col {
+		origCount[orig[i]]++
+		newCount[col[i]]++
+	}
+	for v, n := range origCount {
+		if newCount[r.Code(v)] != n {
+			t.Fatalf("value %d count changed after remap", v)
+		}
+	}
+}
+
+func TestRewriteEqualityExact(t *testing.T) {
+	col, qs := fixture(2000, 4)
+	r := Learn(col, qs, 0)
+	remapped := append([]int64(nil), col...)
+	r.ApplyColumn(remapped)
+	for v := int64(0); v < 8; v++ {
+		q := query.NewCount(query.Filter{Dim: 0, Lo: v, Hi: v})
+		rq, ok := r.RewriteQuery(q)
+		if !ok {
+			t.Fatalf("equality rewrite must always be exact")
+		}
+		want := countMatches(col, q)
+		got := countMatches(remapped, rq)
+		if got != want {
+			t.Fatalf("value %d: rewritten count %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestRewriteRangeContiguous(t *testing.T) {
+	col, qs := fixture(2000, 5)
+	r := Learn(col, qs, 0)
+	remapped := append([]int64(nil), col...)
+	r.ApplyColumn(remapped)
+	// The even group got contiguous codes, so a "range" covering exactly
+	// the evens is expressible... but only a range over original values
+	// that maps to contiguous codes rewrites exactly. Probe all ranges and
+	// verify exact rewrites really are exact.
+	for lo := int64(0); lo < 8; lo++ {
+		for hi := lo; hi < 8; hi++ {
+			q := query.NewCount(query.Filter{Dim: 0, Lo: lo, Hi: hi})
+			rq, ok := r.RewriteQuery(q)
+			if !ok {
+				continue
+			}
+			if got, want := countMatches(remapped, rq), countMatches(col, q); got != want {
+				t.Fatalf("range [%d,%d]: rewritten count %d, want %d", lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func TestRewriteNonContiguousReportsInexact(t *testing.T) {
+	col, qs := fixture(2000, 6)
+	r := Learn(col, qs, 0)
+	// Original range [0,1] covers one even and one odd value; their codes
+	// land in different groups, so the rewrite cannot be contiguous unless
+	// the groups happen to abut exactly at those two codes.
+	q := query.NewCount(query.Filter{Dim: 0, Lo: 0, Hi: 1})
+	rq, ok := r.RewriteQuery(q)
+	if ok {
+		// If reported exact, it must BE exact.
+		remapped := append([]int64(nil), col...)
+		r.ApplyColumn(remapped)
+		if got, want := countMatches(remapped, rq), countMatches(col, q); got != want {
+			t.Fatalf("rewrite claimed exact but wasn't: %d vs %d", got, want)
+		}
+	}
+}
+
+func TestUntouchedDimPassesThrough(t *testing.T) {
+	col, qs := fixture(500, 7)
+	r := Learn(col, qs, 0)
+	q := query.NewCount(query.Filter{Dim: 3, Lo: 5, Hi: 10})
+	rq, ok := r.RewriteQuery(q)
+	if !ok {
+		t.Fatal("other-dim filters must rewrite trivially")
+	}
+	f, _ := rq.Filter(3)
+	if f.Lo != 5 || f.Hi != 10 {
+		t.Fatalf("other-dim filter changed: %+v", f)
+	}
+}
+
+func countMatches(col []int64, q query.Query) int {
+	f := q.Filters[0]
+	n := 0
+	for _, v := range col {
+		if f.Matches(v) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,196 @@
+package cdfmodel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func uniformValues(n int, rng *rand.Rand) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = rng.Int63n(1_000_000)
+	}
+	return out
+}
+
+func skewedValues(n int, rng *rand.Rand) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		v := rng.NormFloat64()*1000 + 5000
+		if v < 0 {
+			v = 0
+		}
+		out[i] = int64(v * v) // heavy right tail
+	}
+	return out
+}
+
+func TestSampleCDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := skewedValues(5000, rng)
+	m := NewSample(vals, 512)
+	prev := -1.0
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	step := (hi - lo) / 1000
+	if step == 0 {
+		step = 1
+	}
+	for x := lo; x <= hi; x += step {
+		c := m.At(x)
+		if c < prev {
+			t.Fatalf("CDF not monotone at %d: %f < %f", x, c, prev)
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("CDF out of range at %d: %f", x, c)
+		}
+		prev = c
+	}
+}
+
+func TestSampleCDFExactAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := uniformValues(2000, rng)
+	m := NewSample(vals, 0) // exact
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 0; i < len(sorted); i += 97 {
+		emp := float64(i+1) / float64(len(sorted))
+		got := m.At(sorted[i])
+		if diff := got - emp; diff > 0.01 || diff < -0.01 {
+			t.Fatalf("CDF at rank %d: got %f, want ≈%f", i, got, emp)
+		}
+	}
+}
+
+func TestBoundariesEquiDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := skewedValues(20000, rng)
+	m := NewSample(vals, 0)
+	p := 16
+	b := Boundaries(m, p)
+	if len(b) != p+1 {
+		t.Fatalf("boundaries len = %d, want %d", len(b), p+1)
+	}
+	for i := 1; i <= p; i++ {
+		if b[i] < b[i-1] {
+			t.Fatalf("boundaries not monotone at %d", i)
+		}
+	}
+	// Each partition should hold roughly n/p points.
+	counts := make([]int, p)
+	for _, v := range vals {
+		i := sort.Search(len(b), func(i int) bool { return b[i] > v }) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= p {
+			i = p - 1
+		}
+		counts[i]++
+	}
+	want := len(vals) / p
+	for i, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("partition %d count = %d, want ≈%d (equi-depth violated)", i, c, want)
+		}
+	}
+}
+
+func TestPartitionClamped(t *testing.T) {
+	m := NewSample([]int64{10, 20, 30}, 0)
+	if p := Partition(m, -100, 4); p != 0 {
+		t.Errorf("below-domain partition = %d, want 0", p)
+	}
+	if p := Partition(m, 1000, 4); p != 3 {
+		t.Errorf("above-domain partition = %d, want 3", p)
+	}
+}
+
+func TestPartitionRangeOrdered(t *testing.T) {
+	prop := func(seed int64, lo, hi int32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewSample(uniformValues(200, rng), 0)
+		l, h := int64(lo), int64(hi)
+		if l > h {
+			l, h = h, l
+		}
+		a, b := PartitionRange(m, l, h, 8)
+		return a >= 0 && b >= a && b < 8
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRMIMonotoneAndAccurate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, gen := range []func(int, *rand.Rand) []int64{uniformValues, skewedValues} {
+		vals := gen(10000, rng)
+		m := NewRMI(vals, 64)
+		if err := m.MaxAbsError(vals); err > 0.05 {
+			t.Errorf("RMI max CDF error = %f, want <= 0.05", err)
+		}
+		if m.At(m.min-1) != 0 {
+			t.Error("CDF below min should be 0")
+		}
+		if m.At(m.max+1) != 1 {
+			t.Error("CDF above max should be 1")
+		}
+	}
+}
+
+func TestRMIQuantileInverts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := uniformValues(5000, rng)
+	m := NewRMI(vals, 64)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		v := m.Quantile(q)
+		got := m.At(v)
+		if diff := got - q; diff > 0.05 || diff < -0.05 {
+			t.Errorf("At(Quantile(%f)) = %f", q, got)
+		}
+	}
+}
+
+func TestRMIEmptyAndTiny(t *testing.T) {
+	m := NewRMI(nil, 8)
+	if m.At(5) != 0 || m.Quantile(0.5) != 0 {
+		t.Error("empty RMI should return zeros")
+	}
+	m1 := NewRMI([]int64{42}, 8)
+	if m1.At(42) != 1 {
+		t.Errorf("single-value RMI At(42) = %f, want 1", m1.At(42))
+	}
+}
+
+func TestRMISmallerThanSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	vals := uniformValues(100000, rng)
+	rmi := NewRMI(vals, 64)
+	exact := NewSample(vals, 0)
+	if rmi.SizeBytes() >= exact.SizeBytes() {
+		t.Errorf("RMI (%dB) should be far smaller than exact CDF (%dB)",
+			rmi.SizeBytes(), exact.SizeBytes())
+	}
+}
+
+func TestBoundariesOfConstantColumn(t *testing.T) {
+	vals := []int64{7, 7, 7, 7}
+	m := NewSample(vals, 0)
+	b := Boundaries(m, 4)
+	for i := 1; i < len(b); i++ {
+		if b[i] < b[i-1] {
+			t.Fatal("constant column boundaries must be monotone")
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/index"
+	"repro/internal/query"
+	"repro/internal/testutil"
+)
+
+func TestInsertVisibleBeforeMerge(t *testing.T) {
+	st := testutil.SmallTaxi(5000, 1)
+	work := testutil.SkewedQueries(st, 100, 2)
+	idx := Build(st, work, smallConfig(FullTsunami))
+
+	// Insert rows with a sentinel value far outside the existing domain.
+	for i := 0; i < 10; i++ {
+		if err := idx.Insert([]int64{2_000_000, 2_000_100, 50, 500, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if idx.NumBuffered() != 10 {
+		t.Fatalf("buffered = %d, want 10", idx.NumBuffered())
+	}
+	res := idx.Execute(query.NewCount(query.Filter{Dim: 0, Lo: 2_000_000, Hi: 2_000_000}))
+	if res.Count != 10 {
+		t.Errorf("inserted rows not visible: count = %d, want 10", res.Count)
+	}
+}
+
+func TestInsertWrongArity(t *testing.T) {
+	st := testutil.SmallTaxi(2000, 3)
+	idx := Build(st, nil, smallConfig(FullTsunami))
+	if err := idx.Insert([]int64{1, 2}); err == nil {
+		t.Error("short row should be rejected")
+	}
+}
+
+func TestMergeDeltasFoldsRows(t *testing.T) {
+	st := testutil.SmallTaxi(5000, 4)
+	work := testutil.SkewedQueries(st, 100, 5)
+	idx := Build(st, work, smallConfig(FullTsunami))
+
+	rng := rand.New(rand.NewSource(6))
+	inserted := make([][]int64, 200)
+	for i := range inserted {
+		row := []int64{
+			rng.Int63n(1_000_000),
+			rng.Int63n(1_000_000),
+			rng.Int63n(1000),
+			rng.Int63n(3000),
+			1 + rng.Int63n(6),
+		}
+		inserted[i] = row
+		if err := idx.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := idx.MergeDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if idx.NumBuffered() != 0 {
+		t.Errorf("buffered = %d after merge, want 0", idx.NumBuffered())
+	}
+	if idx.Store().NumRows() != 5200 {
+		t.Errorf("rows = %d after merge, want 5200", idx.Store().NumRows())
+	}
+
+	// Ground truth: original data + inserted rows.
+	truth := buildTruth(t, st, inserted)
+	full := index.NewFullScan(truth)
+	probe := testutil.RandomQueries(st, 80, 7)
+	for _, q := range probe {
+		want := full.Execute(q)
+		got := idx.Execute(q)
+		if got.Count != want.Count || got.Sum != want.Sum {
+			t.Fatalf("after merge, %s: got (%d, %d), want (%d, %d)",
+				q, got.Count, got.Sum, want.Count, want.Sum)
+		}
+	}
+}
+
+func TestInsertQueryMergeQueryCycle(t *testing.T) {
+	st := testutil.SmallTaxi(5000, 8)
+	work := testutil.SkewedQueries(st, 100, 9)
+	idx := Build(st, work, smallConfig(FullTsunami))
+	rng := rand.New(rand.NewSource(10))
+
+	var all [][]int64
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := 0; i < 50; i++ {
+			row := []int64{
+				rng.Int63n(1_000_000), rng.Int63n(1_100_000),
+				rng.Int63n(1000), rng.Int63n(3000), 1 + rng.Int63n(6),
+			}
+			all = append(all, row)
+			if err := idx.Insert(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Queries must be correct with a half-full buffer too.
+		truth := buildTruth(t, st, all)
+		full := index.NewFullScan(truth)
+		probe := testutil.RandomQueries(st, 25, int64(11+cycle))
+		for _, q := range probe {
+			if got, want := idx.Execute(q).Count, full.Execute(q).Count; got != want {
+				t.Fatalf("cycle %d pre-merge %s: got %d, want %d", cycle, q, got, want)
+			}
+		}
+		if err := idx.MergeDeltas(); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range probe {
+			if got, want := idx.Execute(q).Count, full.Execute(q).Count; got != want {
+				t.Fatalf("cycle %d post-merge %s: got %d, want %d", cycle, q, got, want)
+			}
+		}
+	}
+}
+
+func TestMergeDeltasNoopWhenEmpty(t *testing.T) {
+	st := testutil.SmallTaxi(2000, 12)
+	idx := Build(st, nil, smallConfig(FullTsunami))
+	before := idx.Store()
+	if err := idx.MergeDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Store() != before {
+		t.Error("empty merge should not rebuild the store")
+	}
+}
+
+// buildTruth appends inserted rows to a copy of the original table.
+func buildTruth(t *testing.T, st *colstore.Store, rows [][]int64) *colstore.Store {
+	t.Helper()
+	d := st.NumDims()
+	cols := make([][]int64, d)
+	for j := 0; j < d; j++ {
+		cols[j] = append(append([]int64(nil), st.Column(j)...), nil...)
+		for _, r := range rows {
+			cols[j] = append(cols[j], r[j])
+		}
+	}
+	truth, err := colstore.FromColumns(cols, st.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return truth
+}

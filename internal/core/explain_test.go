@@ -1,0 +1,55 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/testutil"
+)
+
+func TestExplainTotalsMatchExecute(t *testing.T) {
+	st := testutil.SmallTaxi(10000, 1)
+	work := testutil.SkewedQueries(st, 150, 2)
+	idx := Build(st, work, smallConfig(FullTsunami))
+	probe := testutil.RandomQueries(st, 50, 3)
+	for _, q := range probe {
+		res := idx.Execute(q)
+		tr := idx.Explain(q)
+		if tr.Total.Count != res.Count || tr.Total.Sum != res.Sum {
+			t.Fatalf("explain total (%d, %d) != execute (%d, %d) on %s",
+				tr.Total.Count, tr.Total.Sum, res.Count, res.Sum, q)
+		}
+	}
+}
+
+func TestExplainRegionBreakdownSums(t *testing.T) {
+	st := testutil.SmallTaxi(10000, 4)
+	work := testutil.SkewedQueries(st, 150, 5)
+	idx := Build(st, work, smallConfig(FullTsunami))
+	q := query.NewCount(query.Filter{Dim: 0, Lo: 0, Hi: 600_000})
+	tr := idx.Explain(q)
+	var matched uint64
+	for _, r := range tr.Regions {
+		matched += r.Matched
+	}
+	if matched != tr.Total.Count {
+		t.Errorf("per-region matched %d != total %d", matched, tr.Total.Count)
+	}
+	if len(tr.Regions) == 0 || tr.RegionsTotal < len(tr.Regions) {
+		t.Errorf("implausible region counts: %d of %d", len(tr.Regions), tr.RegionsTotal)
+	}
+}
+
+func TestExplainStringRendering(t *testing.T) {
+	st := testutil.SmallTaxi(5000, 6)
+	work := testutil.SkewedQueries(st, 100, 7)
+	idx := Build(st, work, smallConfig(FullTsunami))
+	q := query.NewCount(query.Filter{Dim: 2, Lo: 0, Hi: 500})
+	out := idx.Explain(q).String()
+	for _, want := range []string{"regions visited", "total: count="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/auggrid"
+	"repro/internal/colstore"
+	"repro/internal/gridtree"
+)
+
+// Persistence (§8): the paper notes Tsunami's techniques "are not
+// restricted to in-memory scenarios". Save serializes the full index — the
+// clustered column data, the Grid Tree, and every region grid — with
+// encoding/gob; Load reconstructs a queryable index without re-optimizing.
+
+// snapNode mirrors the Grid Tree without region payloads.
+type snapNode struct {
+	SplitDim  int
+	SplitVals []int64
+	Children  []*snapNode
+	RegionID  int // -1 for internal nodes
+}
+
+// snapRegion carries the per-region metadata needed after load.
+type snapRegion struct {
+	Lo, Hi []int64
+}
+
+// snapshot is the on-disk form of a Tsunami index.
+type snapshot struct {
+	FormatVersion int
+	Variant       int
+	Names         []string
+	Cols          [][]int64
+	Root          *snapNode
+	Regions       []snapRegion
+	NumNodes      int
+	Depth         int
+	NumTypes      int
+	Bounds        [][2]int
+	Grids         map[int]auggrid.GridSnapshot // region id -> grid; absent = scan region
+}
+
+const formatVersion = 1
+
+// Save writes the index to w. Buffered inserts are included by value: they
+// are merged into the snapshot's clustered data first.
+func (t *Tsunami) Save(w io.Writer) error {
+	if t.numBuffered > 0 {
+		if err := t.MergeDeltas(); err != nil {
+			return fmt.Errorf("core: save: %w", err)
+		}
+	}
+	s := snapshot{
+		FormatVersion: formatVersion,
+		Variant:       int(t.cfg.Variant),
+		Names:         t.store.Names(),
+		NumNodes:      t.tree.NumNodes,
+		Depth:         t.tree.Depth,
+		NumTypes:      t.tree.NumTypes,
+		Bounds:        t.bounds,
+	}
+	s.Cols = make([][]int64, t.store.NumDims())
+	for j := range s.Cols {
+		s.Cols[j] = t.store.Column(j)
+	}
+	s.Regions = make([]snapRegion, len(t.tree.Regions))
+	s.Grids = make(map[int]auggrid.GridSnapshot)
+	for i, r := range t.tree.Regions {
+		s.Regions[i] = snapRegion{Lo: r.Lo, Hi: r.Hi}
+		if g := t.grids[i]; g != nil {
+			s.Grids[i] = g.Snapshot()
+		}
+	}
+	s.Root = toSnapNode(t.tree.Root)
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+func toSnapNode(nd *gridtree.Node) *snapNode {
+	out := &snapNode{RegionID: -1}
+	if nd.Region != nil {
+		out.RegionID = nd.Region.ID
+		return out
+	}
+	out.SplitDim = nd.SplitDim
+	out.SplitVals = nd.SplitVals
+	out.Children = make([]*snapNode, len(nd.Children))
+	for i, c := range nd.Children {
+		out.Children[i] = toSnapNode(c)
+	}
+	return out
+}
+
+// Load reconstructs an index written by Save.
+func Load(r io.Reader) (*Tsunami, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if s.FormatVersion != formatVersion {
+		return nil, fmt.Errorf("core: load: format version %d, want %d", s.FormatVersion, formatVersion)
+	}
+	store, err := colstore.FromColumns(s.Cols, s.Names)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if len(s.Bounds) != len(s.Regions) {
+		return nil, fmt.Errorf("core: load: inconsistent region tables")
+	}
+
+	regions := make([]*gridtree.Region, len(s.Regions))
+	for i, sr := range s.Regions {
+		b := s.Bounds[i]
+		rows := make([]int, b[1]-b[0])
+		for k := range rows {
+			rows[k] = b[0] + k
+		}
+		regions[i] = &gridtree.Region{Lo: sr.Lo, Hi: sr.Hi, Rows: rows, ID: i}
+	}
+	root, err := fromSnapNode(s.Root, regions)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tsunami{
+		cfg: Config{Variant: Variant(s.Variant)},
+		tree: &gridtree.Tree{
+			Root:     root,
+			Regions:  regions,
+			NumNodes: s.NumNodes,
+			Depth:    s.Depth,
+			NumTypes: s.NumTypes,
+		},
+		store:  store,
+		bounds: s.Bounds,
+	}
+	t.grids = make([]*auggrid.Grid, len(s.Regions))
+	for i, gs := range s.Grids {
+		if i < 0 || i >= len(s.Regions) {
+			return nil, fmt.Errorf("core: load: grid for unknown region %d", i)
+		}
+		g, err := auggrid.FromSnapshot(gs)
+		if err != nil {
+			return nil, fmt.Errorf("core: load: region %d grid: %w", i, err)
+		}
+		g.Finalize(store, s.Bounds[i][0])
+		t.grids[i] = g
+	}
+	return t, nil
+}
+
+func fromSnapNode(nd *snapNode, regions []*gridtree.Region) (*gridtree.Node, error) {
+	if nd == nil {
+		return nil, fmt.Errorf("core: load: nil tree node")
+	}
+	if nd.RegionID >= 0 {
+		if nd.RegionID >= len(regions) {
+			return nil, fmt.Errorf("core: load: region id %d out of range", nd.RegionID)
+		}
+		return &gridtree.Node{Region: regions[nd.RegionID]}, nil
+	}
+	out := &gridtree.Node{SplitDim: nd.SplitDim, SplitVals: nd.SplitVals}
+	out.Children = make([]*gridtree.Node, len(nd.Children))
+	for i, c := range nd.Children {
+		child, err := fromSnapNode(c, regions)
+		if err != nil {
+			return nil, err
+		}
+		out.Children[i] = child
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/query"
+
+	"repro/internal/testutil"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st := testutil.SmallTaxi(10000, 1)
+	work := testutil.SkewedQueries(st, 150, 2)
+	idx := Build(st, work, smallConfig(FullTsunami))
+
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The loaded index answers exactly like the original on fresh queries.
+	probe := testutil.RandomQueries(st, 100, 3)
+	for _, q := range probe {
+		a := idx.Execute(q)
+		b := loaded.Execute(q)
+		if a.Count != b.Count || a.Sum != b.Sum {
+			t.Fatalf("loaded index diverges on %s: (%d, %d) vs (%d, %d)",
+				q, b.Count, b.Sum, a.Count, a.Sum)
+		}
+	}
+	// Structure statistics survive.
+	sa, sb := idx.IndexStats(), loaded.IndexStats()
+	if sa.NumLeafRegions != sb.NumLeafRegions || sa.TotalGridCells != sb.TotalGridCells {
+		t.Errorf("stats diverge: %+v vs %+v", sa, sb)
+	}
+	if sa.NumGridTreeNodes != sb.NumGridTreeNodes || sa.GridTreeDepth != sb.GridTreeDepth {
+		t.Errorf("tree shape diverges: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestSaveMergesBufferedInserts(t *testing.T) {
+	st := testutil.SmallTaxi(5000, 4)
+	work := testutil.SkewedQueries(st, 100, 5)
+	idx := Build(st, work, smallConfig(FullTsunami))
+	for i := 0; i < 25; i++ {
+		if err := idx.Insert([]int64{5_000_000, 5_000_100, 7, 7, 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewCount(query.Filter{Dim: 0, Lo: 5_000_000, Hi: 5_000_000})
+	if got := loaded.Execute(q).Count; got != 25 {
+		t.Errorf("buffered inserts lost through save/load: count = %d, want 25", got)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage input should fail to load")
+	}
+}
+
+func TestLoadedIndexSupportsInserts(t *testing.T) {
+	st := testutil.SmallTaxi(5000, 6)
+	work := testutil.SkewedQueries(st, 100, 7)
+	idx := Build(st, work, smallConfig(FullTsunami))
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Insert([]int64{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.MergeDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Store().NumRows() != 5001 {
+		t.Errorf("rows = %d, want 5001", loaded.Store().NumRows())
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/testutil"
+)
+
+func TestReaderClonesExecuteConcurrently(t *testing.T) {
+	st := testutil.SmallTaxi(10000, 1)
+	work := testutil.SkewedQueries(st, 150, 2)
+	idx := Build(st, work, smallConfig(FullTsunami))
+	probe := testutil.RandomQueries(st, 60, 3)
+
+	// Precompute expected answers single-threaded.
+	full := index.NewFullScan(st)
+	want := make([]uint64, len(probe))
+	for i, q := range probe {
+		want[i] = full.Execute(q).Count
+	}
+
+	const readers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			clone := idx.ReaderClone()
+			for pass := 0; pass < 5; pass++ {
+				for i, q := range probe {
+					if got := clone.Execute(q).Count; got != want[i] {
+						errs <- q.String()
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for q := range errs {
+		t.Errorf("concurrent reader got a wrong answer on %s", q)
+	}
+}
+
+func TestReaderCloneSharesData(t *testing.T) {
+	st := testutil.SmallTaxi(3000, 4)
+	work := testutil.SkewedQueries(st, 80, 5)
+	idx := Build(st, work, smallConfig(FullTsunami))
+	clone := idx.ReaderClone()
+	if clone.Store() != idx.Store() {
+		t.Error("reader clone should share the column store")
+	}
+	if clone.SizeBytes() != idx.SizeBytes() {
+		t.Error("reader clone should report the same size")
+	}
+}

@@ -1,0 +1,339 @@
+// Package core implements Tsunami (§3): a composition of a Grid Tree, which
+// partitions data space into regions with low query skew, and one Augmented
+// Grid per region, optimized over only the points and queries intersecting
+// that region. The package also exposes the paper's ablations (Fig 12a):
+// Augmented Grid only (one grid over the whole space) and Grid Tree only
+// (a Flood-style independent grid in each region).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/auggrid"
+	"repro/internal/colstore"
+	"repro/internal/gridtree"
+	"repro/internal/index"
+	"repro/internal/query"
+)
+
+// Variant selects which of Tsunami's components are active.
+type Variant int
+
+const (
+	// FullTsunami uses the Grid Tree with an Augmented Grid per region.
+	FullTsunami Variant = iota
+	// AugGridOnly builds a single Augmented Grid over the whole space.
+	AugGridOnly
+	// GridTreeOnly builds the Grid Tree with a Flood-style independent
+	// grid in each region.
+	GridTreeOnly
+)
+
+func (v Variant) String() string {
+	switch v {
+	case FullTsunami:
+		return "Tsunami"
+	case AugGridOnly:
+		return "AugGrid-only"
+	case GridTreeOnly:
+		return "GridTree-only"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Config controls a Tsunami build; zero values take paper defaults.
+type Config struct {
+	Variant  Variant
+	GridTree gridtree.Config
+	Grid     auggrid.OptimizeConfig
+	// Optimizer searches region layouts (default auggrid.AGD()).
+	Optimizer auggrid.Optimizer
+	// MinRowsForGrid skips building a grid for regions smaller than this —
+	// a plain scan of a tiny contiguous region beats grid overhead
+	// (default 1024; never reached at the paper's scale).
+	MinRowsForGrid int
+	// DisableSortDim turns off the within-cell sort dimension and its
+	// binary-search refinement (used by the ablation benchmarks).
+	DisableSortDim bool
+	// Parallelism bounds the number of regions optimized concurrently
+	// (§6.1: "optimization and data sorting for index creation are
+	// performed in parallel"). Default runtime.NumCPU(); 1 disables.
+	Parallelism int
+}
+
+// Tsunami is a built index.
+type Tsunami struct {
+	cfg    Config
+	store  *colstore.Store
+	tree   *gridtree.Tree
+	grids  []*auggrid.Grid // aligned with tree.Regions; nil = unindexed region
+	bounds [][2]int        // physical [start, end) per region
+	stats  index.BuildStats
+
+	regionBuf []*gridtree.Region // scratch for traversal
+
+	// Insert buffering (§8): per-region delta siblings, folded in by
+	// MergeDeltas.
+	deltas      map[int]*delta
+	numBuffered int
+}
+
+// Build optimizes and constructs the index over a clone of st for the
+// sample workload (§3): optimize the Grid Tree on the full dataset and
+// workload, then optimize an Augmented Grid per region on only the points
+// and queries intersecting it, then reorganize the data.
+func Build(st *colstore.Store, workload []query.Query, cfg Config) *Tsunami {
+	if cfg.Optimizer.Name == "" {
+		cfg.Optimizer = auggrid.AGD()
+	}
+	if cfg.MinRowsForGrid == 0 {
+		cfg.MinRowsForGrid = 1024
+	}
+	cfg.Grid.UseSortDim = !cfg.DisableSortDim
+	t := &Tsunami{cfg: cfg}
+
+	optStart := time.Now()
+	clone := st.Clone()
+
+	var tree *gridtree.Tree
+	if cfg.Variant == AugGridOnly {
+		tree = singleRegionTree(clone, workload)
+	} else {
+		tree = gridtree.Build(clone, workload, cfg.GridTree)
+	}
+	t.tree = tree
+
+	// Optimize and build a grid per region that has intersecting queries
+	// (§3: regions no query touches get no index). Regions are optimized
+	// concurrently (§6.1); each worker only reads the shared store.
+	t.grids = make([]*auggrid.Grid, len(tree.Regions))
+	t.bounds = make([][2]int, len(tree.Regions))
+	ordered := make([][]int, len(tree.Regions))
+
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, r := range tree.Regions {
+		if len(r.Queries) == 0 || len(r.Rows) < cfg.MinRowsForGrid {
+			ordered[r.ID] = r.Rows
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(r *gridtree.Region) {
+			defer func() { <-sem; wg.Done() }()
+			gcfg := cfg.Grid
+			opt := cfg.Optimizer
+			if cfg.Variant == GridTreeOnly {
+				// Flood inside each region: independent skeleton, P-only
+				// descent.
+				opt = auggrid.GD()
+				gcfg.FMErrFrac = -1    // disable FM heuristic
+				gcfg.CCDFEmptyFrac = 2 // disable CCDF heuristic
+			}
+			layout, _ := auggrid.Optimize(clone, r.Rows, r.Queries, opt, gcfg)
+			g, ord, err := auggrid.Build(clone, r.Rows, layout)
+			if err != nil {
+				// An invalid optimized layout is a bug; fall back to a
+				// scan region rather than failing the whole build.
+				ordered[r.ID] = r.Rows
+				return
+			}
+			t.grids[r.ID] = g
+			ordered[r.ID] = ord
+		}(r)
+	}
+	wg.Wait()
+
+	perm := make([]int, 0, clone.NumRows())
+	for _, r := range tree.Regions {
+		start := len(perm)
+		perm = append(perm, ordered[r.ID]...)
+		t.bounds[r.ID] = [2]int{start, len(perm)}
+	}
+	optTotal := time.Since(optStart).Seconds()
+
+	sortStart := time.Now()
+	if err := clone.Reorder(perm); err != nil {
+		panic("core: " + err.Error()) // perm concatenates disjoint regions
+	}
+	for id, g := range t.grids {
+		if g != nil {
+			g.Finalize(clone, t.bounds[id][0])
+		}
+	}
+	sortSecs := time.Since(sortStart).Seconds()
+
+	t.store = clone
+	t.stats = index.BuildStats{SortSeconds: sortSecs, OptimizeSeconds: optTotal}
+	return t
+}
+
+// singleRegionTree wraps the whole space in one region (AugGridOnly).
+func singleRegionTree(st *colstore.Store, workload []query.Query) *gridtree.Tree {
+	d := st.NumDims()
+	lo := make([]int64, d)
+	hi := make([]int64, d)
+	for j := 0; j < d; j++ {
+		lo[j], hi[j] = st.MinMax(j)
+	}
+	rows := make([]int, st.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	r := &gridtree.Region{Lo: lo, Hi: hi, Rows: rows, Queries: workload, ID: 0}
+	return &gridtree.Tree{
+		Root:     &gridtree.Node{Region: r},
+		Regions:  []*gridtree.Region{r},
+		NumNodes: 1,
+		Depth:    1,
+	}
+}
+
+// Name implements index.Index.
+func (t *Tsunami) Name() string { return t.cfg.Variant.String() }
+
+// BuildStats returns the build timing split (Fig 9b).
+func (t *Tsunami) BuildStats() index.BuildStats { return t.stats }
+
+// Execute implements index.Index (§3 query workflow): traverse the Grid
+// Tree for intersecting regions, delegate to each region's Augmented Grid,
+// and aggregate; unindexed regions are scanned.
+func (t *Tsunami) Execute(q query.Query) colstore.ScanResult {
+	var res colstore.ScanResult
+	t.regionBuf = t.tree.FindRegions(q, t.regionBuf[:0])
+	for _, r := range t.regionBuf {
+		if g := t.grids[r.ID]; g != nil {
+			sub, _ := g.Execute(q)
+			res.Add(sub)
+			continue
+		}
+		b := t.bounds[r.ID]
+		exact := regionContained(q, r)
+		t.store.ScanRange(q, b[0], b[1], exact, &res)
+	}
+	t.scanDeltas(q, t.regionBuf, &res)
+	return res
+}
+
+func regionContained(q query.Query, r *gridtree.Region) bool {
+	for _, f := range q.Filters {
+		if r.Lo[f.Dim] < f.Lo || r.Hi[f.Dim] > f.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes implements index.Index: the Grid Tree plus every region grid.
+func (t *Tsunami) SizeBytes() uint64 {
+	size := t.tree.SizeBytes()
+	for _, g := range t.grids {
+		if g != nil {
+			size += g.SizeBytes()
+		}
+	}
+	return size
+}
+
+// ReaderClone returns an index sharing all structure and data with t but
+// owning its own traversal and grid scratch, so the clone can Execute
+// concurrently with t and with other reader clones. Writes (Insert,
+// MergeDeltas, Reoptimize*) must not run while readers are active; the
+// paper's evaluation is single-threaded (§6.1), so this is an extension
+// for serving read-only workloads from multiple goroutines.
+func (t *Tsunami) ReaderClone() *Tsunami {
+	clone := *t
+	clone.regionBuf = nil
+	clone.grids = make([]*auggrid.Grid, len(t.grids))
+	for i, g := range t.grids {
+		if g != nil {
+			clone.grids[i] = g.ReaderClone()
+		}
+	}
+	return &clone
+}
+
+// Store returns the reorganized column store (tests use it as ground
+// truth).
+func (t *Tsunami) Store() *colstore.Store { return t.store }
+
+// Reoptimize rebuilds the index for a new workload (§6.4, Fig 9a) and
+// returns the rebuilt index and the re-optimization wall time.
+func (t *Tsunami) Reoptimize(workload []query.Query) (*Tsunami, float64) {
+	start := time.Now()
+	nt := Build(t.store, workload, t.cfg)
+	return nt, time.Since(start).Seconds()
+}
+
+// Stats are the Tab 4 index statistics.
+type Stats struct {
+	NumGridTreeNodes      int
+	GridTreeDepth         int
+	NumLeafRegions        int
+	MinPointsPerRegion    int
+	MedianPointsPerRegion int
+	MaxPointsPerRegion    int
+	AvgFMsPerRegion       float64
+	AvgCCDFsPerRegion     float64
+	TotalGridCells        int
+}
+
+// RegionsVisited returns how many Grid Tree regions q intersects.
+func (t *Tsunami) RegionsVisited(q query.Query) int {
+	t.regionBuf = t.tree.FindRegions(q, t.regionBuf[:0])
+	return len(t.regionBuf)
+}
+
+// DebugRegions renders per-region layout summaries for diagnostics.
+func (t *Tsunami) DebugRegions() string {
+	out := ""
+	for id, r := range t.tree.Regions {
+		out += fmt.Sprintf("region %d: rows=%d queries=%d", id, len(r.Rows), len(r.Queries))
+		if g := t.grids[id]; g != nil {
+			out += fmt.Sprintf(" cells=%d layout=%v", g.NumCells(), g.Layout())
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// IndexStats reports the optimized structure statistics (Tab 4).
+func (t *Tsunami) IndexStats() Stats {
+	s := Stats{
+		NumGridTreeNodes: t.tree.NumNodes,
+		GridTreeDepth:    t.tree.Depth,
+		NumLeafRegions:   len(t.tree.Regions),
+	}
+	var pts []int
+	var fms, ccdfs, gridRegions int
+	for id, r := range t.tree.Regions {
+		pts = append(pts, len(r.Rows))
+		if g := t.grids[id]; g != nil {
+			f, c := g.Layout().Skeleton.CountKinds()
+			fms += f
+			ccdfs += c
+			gridRegions++
+			s.TotalGridCells += g.NumCells()
+		}
+	}
+	sort.Ints(pts)
+	if len(pts) > 0 {
+		s.MinPointsPerRegion = pts[0]
+		s.MedianPointsPerRegion = pts[len(pts)/2]
+		s.MaxPointsPerRegion = pts[len(pts)-1]
+	}
+	if gridRegions > 0 {
+		s.AvgFMsPerRegion = float64(fms) / float64(gridRegions)
+		s.AvgCCDFsPerRegion = float64(ccdfs) / float64(gridRegions)
+	}
+	return s
+}

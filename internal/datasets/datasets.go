@@ -1,0 +1,310 @@
+// Package datasets generates the evaluation datasets of §6.2 as seeded
+// synthetic equivalents. The paper uses real TPC-H, NYC Taxi, Perfmon, and
+// Stocks data at 184M–300M rows; these generators reproduce the schema,
+// value distributions, and — most importantly — the correlation structure
+// the paper's techniques target (tight monotone pairs for functional
+// mappings, loose/generic correlation for conditional CDFs, heavy-tailed
+// skewed columns), at configurable scale. All values are int64, matching
+// the paper's integer encoding (§6.1).
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/colstore"
+)
+
+// Dataset is a named generated table.
+type Dataset struct {
+	Name  string
+	Store *colstore.Store
+}
+
+// Dims returns the dimensionality.
+func (d *Dataset) Dims() int { return d.Store.NumDims() }
+
+// Rows returns the row count.
+func (d *Dataset) Rows() int { return d.Store.NumRows() }
+
+// TPC-H lineitem column indices.
+const (
+	TPCHQuantity = iota
+	TPCHExtendedPrice
+	TPCHDiscount
+	TPCHTax
+	TPCHShipMode
+	TPCHShipDate
+	TPCHCommitDate
+	TPCHReceiptDate
+)
+
+// TPCH generates an 8-dimensional lineitem-like fact table (§6.2): ship,
+// commit, and receipt dates are correlated (receipt tightly follows ship;
+// commit loosely), and extended price is generically correlated with
+// quantity.
+func TPCH(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	cols := newCols(8, n)
+	const days = 2526 // 1992-01-01 .. 1998-12-01, as in TPC-H
+	for i := 0; i < n; i++ {
+		qty := 1 + rng.Int63n(50)
+		// Extended price = quantity * unit price; unit price varies per
+		// part, producing a generic (fan-shaped) correlation with quantity.
+		unitPrice := 90000 + rng.Int63n(10_000_000)/100
+		ship := rng.Int63n(days)
+		cols[TPCHQuantity][i] = qty
+		cols[TPCHExtendedPrice][i] = qty * unitPrice
+		cols[TPCHDiscount][i] = rng.Int63n(11) // 0.00 .. 0.10 scaled by 100
+		cols[TPCHTax][i] = rng.Int63n(9)       // 0.00 .. 0.08
+		cols[TPCHShipMode][i] = rng.Int63n(7)  // dictionary-encoded
+		cols[TPCHShipDate][i] = ship
+		cols[TPCHCommitDate][i] = clamp(ship+rng.Int63n(121)-30, 0, days+90) // loose
+		cols[TPCHReceiptDate][i] = ship + 1 + rng.Int63n(30)                 // tight
+	}
+	return fromCols("TPC-H", cols, []string{
+		"quantity", "extendedprice", "discount", "tax",
+		"shipmode", "shipdate", "commitdate", "receiptdate",
+	})
+}
+
+// Taxi column indices.
+const (
+	TaxiPickupTime = iota
+	TaxiDropoffTime
+	TaxiDistance
+	TaxiFare
+	TaxiTip
+	TaxiTotal
+	TaxiPassengers
+	TaxiPickupZone
+	TaxiDropoffZone
+)
+
+// Taxi generates a 9-dimensional NYC yellow-taxi-like table (§6.2):
+// drop-off time tightly follows pick-up time, fare is tightly monotone in
+// distance, total tightly follows fare, tip is generically correlated with
+// fare, and passenger count / distance are heavily skewed.
+func Taxi(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	cols := newCols(9, n)
+	const minutes = 2 * 365 * 24 * 60 // 2018–2019 in minutes
+	for i := 0; i < n; i++ {
+		pickup := rng.Int63n(minutes)
+		// Trip distance in units of 0.01 miles, exponential with mean 2.9mi.
+		dist := int64(rng.ExpFloat64()*290) + 10
+		duration := 2 + dist/25 + rng.Int63n(15) // minutes, loosely tied to distance
+		fare := 250 + dist*5/2 + rng.Int63n(200) // cents, tight monotone in distance
+		tipPct := rng.Int63n(31)                 // 0..30%
+		tip := fare * tipPct / 100               // generic correlation with fare
+		tolls := int64(0)
+		if rng.Float64() < 0.05 {
+			tolls = 600 + rng.Int63n(1200)
+		}
+		pax := int64(1)
+		r := rng.Float64()
+		switch {
+		case r < 0.70:
+			pax = 1
+		case r < 0.85:
+			pax = 2
+		case r < 0.93:
+			pax = 3 + rng.Int63n(2)
+		default:
+			pax = 5 + rng.Int63n(2)
+		}
+		cols[TaxiPickupTime][i] = pickup
+		cols[TaxiDropoffTime][i] = pickup + duration
+		cols[TaxiDistance][i] = dist
+		cols[TaxiFare][i] = fare
+		cols[TaxiTip][i] = tip
+		cols[TaxiTotal][i] = fare + tip + tolls
+		cols[TaxiPassengers][i] = pax
+		cols[TaxiPickupZone][i] = rng.Int63n(263)
+		cols[TaxiDropoffZone][i] = rng.Int63n(263)
+	}
+	return fromCols("Taxi", cols, []string{
+		"pickup_time", "dropoff_time", "distance", "fare", "tip",
+		"total", "passengers", "pickup_zone", "dropoff_zone",
+	})
+}
+
+// Perfmon column indices.
+const (
+	PerfTime = iota
+	PerfMachine
+	PerfCPUUser
+	PerfCPUSys
+	PerfLoad1
+	PerfLoad5
+	PerfMem
+)
+
+// Perfmon generates a 7-dimensional machine-monitoring-like table (§6.2):
+// system CPU loosely follows user CPU, the 5-minute load average tightly
+// follows the 1-minute load, and CPU/load values are skewed low with a
+// heavy high tail (most machines are idle).
+func Perfmon(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	cols := newCols(7, n)
+	const minutes = 365 * 24 * 60
+	for i := 0; i < n; i++ {
+		// CPU usage percent ×100; mostly idle with occasional spikes.
+		user := int64(math.Min(rng.ExpFloat64()*800, 10000))
+		sys := user/4 + int64(math.Min(rng.ExpFloat64()*300, 5000)) // loose
+		load1 := user/3 + int64(rng.ExpFloat64()*200)               // correlated with CPU
+		load5 := load1 + rng.Int63n(101) - 50                       // tight
+		if load5 < 0 {
+			load5 = 0
+		}
+		cols[PerfTime][i] = rng.Int63n(minutes)
+		cols[PerfMachine][i] = rng.Int63n(1000)
+		cols[PerfCPUUser][i] = user
+		cols[PerfCPUSys][i] = sys
+		cols[PerfLoad1][i] = load1
+		cols[PerfLoad5][i] = load5
+		cols[PerfMem][i] = 500 + rng.Int63n(9500)
+	}
+	return fromCols("Perfmon", cols, []string{
+		"time", "machine", "cpu_user", "cpu_sys", "load1", "load5", "mem",
+	})
+}
+
+// Stocks column indices.
+const (
+	StockDate = iota
+	StockOpen
+	StockClose
+	StockLow
+	StockHigh
+	StockVolume
+	StockAdjClose
+)
+
+// Stocks generates a 7-dimensional daily-prices-like table (§6.2): open,
+// close, low, high, and adjusted close are tightly correlated with one
+// another, prices are log-normal, and volume is heavy-tailed.
+func Stocks(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	cols := newCols(7, n)
+	const days = 48 * 252 // trading days 1970–2018
+	for i := 0; i < n; i++ {
+		// Price in cents, log-normal across stocks.
+		open := int64(math.Exp(rng.NormFloat64()*1.2+7.5)) + 100
+		move := 1 + rng.NormFloat64()*0.02
+		if move < 0.7 {
+			move = 0.7
+		}
+		cls := int64(float64(open) * move)
+		low := minI64(open, cls) - rng.Int63n(maxI64(open, cls)/50+1)
+		high := maxI64(open, cls) + rng.Int63n(maxI64(open, cls)/50+1)
+		vol := int64(math.Exp(rng.NormFloat64()*1.5 + 11))
+		cols[StockDate][i] = rng.Int63n(days)
+		cols[StockOpen][i] = open
+		cols[StockClose][i] = cls
+		cols[StockLow][i] = low
+		cols[StockHigh][i] = high
+		cols[StockVolume][i] = vol
+		cols[StockAdjClose][i] = cls - cls*rng.Int63n(20)/100 // loose (splits/dividends)
+	}
+	return fromCols("Stocks", cols, []string{
+		"date", "open", "close", "low", "high", "volume", "adjclose",
+	})
+}
+
+// SyntheticUniform generates the Fig 10 uncorrelated group: d dims of
+// i.i.d. uniform values.
+func SyntheticUniform(n, d int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	cols := newCols(d, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			cols[j][i] = rng.Int63n(1_000_000)
+		}
+	}
+	return fromCols("SynthUniform", cols, nil)
+}
+
+// SyntheticCorrelated generates the Fig 10 correlated group: the first half
+// of the dimensions are uniform; each dimension in the second half is
+// linearly correlated to its counterpart in the first half, alternating
+// strong (±1% of the domain) and loose (±10%) error.
+func SyntheticCorrelated(n, d int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	cols := newCols(d, n)
+	const domain = 1_000_000
+	half := d / 2
+	for i := 0; i < n; i++ {
+		for j := 0; j < half; j++ {
+			cols[j][i] = rng.Int63n(domain)
+		}
+		for j := half; j < d; j++ {
+			src := cols[j-half][i]
+			errFrac := 0.01
+			if (j-half)%2 == 1 {
+				errFrac = 0.10
+			}
+			e := int64(errFrac * domain)
+			cols[j][i] = clamp(2*src+rng.Int63n(2*e+1)-e, 0, 3*domain)
+		}
+	}
+	return fromCols("SynthCorrelated", cols, nil)
+}
+
+// Sample returns a new dataset holding every k-th row so experiments can
+// sweep dataset size (Fig 11a) deterministically.
+func Sample(d *Dataset, rows int) *Dataset {
+	n := d.Rows()
+	if rows >= n {
+		return d
+	}
+	stride := n / rows
+	cols := newCols(d.Dims(), rows)
+	for j := 0; j < d.Dims(); j++ {
+		src := d.Store.Column(j)
+		for i := 0; i < rows; i++ {
+			cols[j][i] = src[i*stride]
+		}
+	}
+	return fromCols(d.Name, cols, d.Store.Names())
+}
+
+func newCols(d, n int) [][]int64 {
+	cols := make([][]int64, d)
+	for j := range cols {
+		cols[j] = make([]int64, n)
+	}
+	return cols
+}
+
+func fromCols(name string, cols [][]int64, names []string) *Dataset {
+	st, err := colstore.FromColumns(cols, names)
+	if err != nil {
+		panic("datasets: " + err.Error())
+	}
+	return &Dataset{Name: name, Store: st}
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,161 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestGeneratorsShape(t *testing.T) {
+	for _, tc := range []struct {
+		ds   *Dataset
+		dims int
+	}{
+		{TPCH(1000, 1), 8},
+		{Taxi(1000, 1), 9},
+		{Perfmon(1000, 1), 7},
+		{Stocks(1000, 1), 7},
+		{SyntheticUniform(1000, 12, 1), 12},
+		{SyntheticCorrelated(1000, 12, 1), 12},
+	} {
+		if tc.ds.Rows() != 1000 {
+			t.Errorf("%s rows = %d, want 1000", tc.ds.Name, tc.ds.Rows())
+		}
+		if tc.ds.Dims() != tc.dims {
+			t.Errorf("%s dims = %d, want %d", tc.ds.Name, tc.ds.Dims(), tc.dims)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := TPCH(500, 7)
+	b := TPCH(500, 7)
+	for j := 0; j < a.Dims(); j++ {
+		ca, cb := a.Store.Column(j), b.Store.Column(j)
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("same seed produced different data at (%d, %d)", i, j)
+			}
+		}
+	}
+	c := TPCH(500, 8)
+	same := true
+	for i := 0; i < 500; i++ {
+		if a.Store.Value(i, 0) != c.Store.Value(i, 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+// relErr fits a regression between two columns and returns the residual
+// band relative to the target domain — the §5.3.2 functional-mapping
+// signal.
+func relErr(x, y []int64) float64 {
+	lr := stats.FitLinReg(x, y)
+	lo, hi := y[0], y[0]
+	for _, v := range y {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return 0
+	}
+	return lr.ErrSpan() / float64(hi-lo)
+}
+
+func TestTPCHCorrelationStructure(t *testing.T) {
+	ds := TPCH(20000, 3)
+	// Receipt date tightly follows ship date: FM-eligible (< 10%).
+	tight := relErr(ds.Store.Column(TPCHShipDate), ds.Store.Column(TPCHReceiptDate))
+	if tight > 0.10 {
+		t.Errorf("shipdate→receiptdate relative error = %.3f, want < 0.10", tight)
+	}
+	// Commit date is loose: not FM-eligible but correlated.
+	loose := relErr(ds.Store.Column(TPCHShipDate), ds.Store.Column(TPCHCommitDate))
+	if loose < 0.02 {
+		t.Errorf("shipdate→commitdate relative error = %.3f, suspiciously tight", loose)
+	}
+	// Price vs quantity is generic: far too loose for a functional mapping.
+	generic := relErr(ds.Store.Column(TPCHQuantity), ds.Store.Column(TPCHExtendedPrice))
+	if generic < 0.10 {
+		t.Errorf("quantity→price relative error = %.3f, should be generic (>= 0.10)", generic)
+	}
+}
+
+func TestTaxiCorrelationStructure(t *testing.T) {
+	ds := Taxi(20000, 4)
+	if e := relErr(ds.Store.Column(TaxiPickupTime), ds.Store.Column(TaxiDropoffTime)); e > 0.10 {
+		t.Errorf("pickup→dropoff relative error = %.3f, want < 0.10", e)
+	}
+	if e := relErr(ds.Store.Column(TaxiDistance), ds.Store.Column(TaxiFare)); e > 0.10 {
+		t.Errorf("distance→fare relative error = %.3f, want < 0.10", e)
+	}
+}
+
+func TestStocksCorrelationStructure(t *testing.T) {
+	ds := Stocks(20000, 5)
+	if e := relErr(ds.Store.Column(StockOpen), ds.Store.Column(StockClose)); e > 0.25 {
+		t.Errorf("open→close relative error = %.3f, want tight-ish", e)
+	}
+}
+
+func TestSyntheticCorrelatedStructure(t *testing.T) {
+	d := 8
+	ds := SyntheticCorrelated(20000, d, 6)
+	// Dim d/2 is strongly correlated (±1%) with dim 0.
+	strong := relErr(ds.Store.Column(0), ds.Store.Column(d/2))
+	if strong > 0.05 {
+		t.Errorf("strong pair relative error = %.3f, want <= 0.05", strong)
+	}
+	// Dim d/2+1 is loose (±10%) with dim 1.
+	loose := relErr(ds.Store.Column(1), ds.Store.Column(d/2+1))
+	if loose < 0.05 || loose > 0.4 {
+		t.Errorf("loose pair relative error = %.3f, want ≈0.1-0.2", loose)
+	}
+	// Uniform dims are uncorrelated with each other.
+	un := relErr(ds.Store.Column(0), ds.Store.Column(1))
+	if un < 0.5 {
+		t.Errorf("uniform pair relative error = %.3f, want large", un)
+	}
+}
+
+func TestTaxiPassengerSkew(t *testing.T) {
+	ds := Taxi(20000, 7)
+	col := ds.Store.Column(TaxiPassengers)
+	ones := 0
+	for _, v := range col {
+		if v == 1 {
+			ones++
+		}
+		if v < 1 || v > 6 {
+			t.Fatalf("passenger count %d out of range", v)
+		}
+	}
+	frac := float64(ones) / float64(len(col))
+	if frac < 0.6 || frac > 0.8 {
+		t.Errorf("single-passenger fraction = %.2f, want ≈0.7", frac)
+	}
+}
+
+func TestSample(t *testing.T) {
+	full := TPCH(10000, 8)
+	half := Sample(full, 5000)
+	if half.Rows() != 5000 {
+		t.Fatalf("sample rows = %d, want 5000", half.Rows())
+	}
+	if half.Dims() != full.Dims() {
+		t.Fatalf("sample dims changed")
+	}
+	same := Sample(full, 20000)
+	if same != full {
+		t.Error("oversized sample should return the original dataset")
+	}
+}

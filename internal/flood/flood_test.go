@@ -1,0 +1,66 @@
+package flood
+
+import (
+	"testing"
+
+	"repro/internal/auggrid"
+	"repro/internal/testutil"
+)
+
+func smallConfig() Config {
+	return Config{Grid: auggrid.OptimizeConfig{
+		Eval:     auggrid.EvalConfig{SampleSize: 1024, MaxQueries: 40},
+		MaxCells: 1 << 12,
+		MaxIters: 3,
+	}}
+}
+
+func TestFloodMatchesFullScan(t *testing.T) {
+	st := testutil.SmallTaxi(8000, 1)
+	qs := testutil.RandomQueries(st, 150, 2)
+	idx := Build(st, qs[:60], smallConfig())
+	testutil.CheckMatchesFullScan(t, idx, st, qs)
+}
+
+func TestFloodSkeletonIsIndependent(t *testing.T) {
+	st := testutil.SmallTaxi(5000, 3)
+	qs := testutil.RandomQueries(st, 100, 4)
+	idx := Build(st, qs, smallConfig())
+	for j, strat := range idx.Layout().Skeleton {
+		if strat.Kind != auggrid.Independent {
+			t.Errorf("dim %d has strategy %v; Flood must be all-independent", j, strat.Kind)
+		}
+	}
+}
+
+func TestFloodUsesSortDim(t *testing.T) {
+	st := testutil.SmallTaxi(5000, 5)
+	qs := testutil.RandomQueries(st, 100, 6)
+	idx := Build(st, qs, smallConfig())
+	if idx.Layout().SortDim < 0 {
+		t.Error("Flood should pick a sort dimension")
+	}
+}
+
+func TestFloodReoptimize(t *testing.T) {
+	st := testutil.SmallTaxi(5000, 7)
+	qsA := testutil.RandomQueries(st, 60, 8)
+	qsB := testutil.SkewedQueries(st, 60, 9)
+	idx := Build(st, qsA, smallConfig())
+	nidx, secs := idx.Reoptimize(qsB, smallConfig())
+	if secs < 0 {
+		t.Error("negative reoptimize time")
+	}
+	testutil.CheckMatchesFullScan(t, nidx, st, qsB)
+}
+
+func TestFloodCellBudgetRespected(t *testing.T) {
+	st := testutil.SmallTaxi(8000, 10)
+	qs := testutil.RandomQueries(st, 100, 11)
+	cfg := smallConfig()
+	cfg.Grid.MaxCells = 256
+	idx := Build(st, qs, cfg)
+	if idx.NumCells() > 256 {
+		t.Errorf("cells = %d, budget 256", idx.NumCells())
+	}
+}

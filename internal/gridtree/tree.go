@@ -1,0 +1,359 @@
+package gridtree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/colstore"
+	"repro/internal/query"
+)
+
+// Config holds the Grid Tree optimization parameters; zero values take the
+// paper's defaults (§4.3).
+type Config struct {
+	// HistBins is the skew-histogram resolution (default 128).
+	HistBins int
+	// MergeFactor is the covering-set merge tolerance (default 1.1, i.e.
+	// merge when combined skew is within 10% of the parts' sum).
+	MergeFactor float64
+	// MergeEps is an additive merge tolerance as a fraction of the node's
+	// query mass (default 0.005), letting zero-skew unique-value ranges
+	// merge; see mergeCovering.
+	MergeEps float64
+	// MinSkewReduction rejects splits reducing skew by less than this
+	// fraction of the node's query mass (default 0.05).
+	MinSkewReduction float64
+	// NoiseFactor scales the sampling-noise floor added to the split
+	// threshold. m uniformly-placed narrow queries have an expected EMD
+	// from uniform of ≈0.67·√m (a random walk over bins), so a reduction
+	// must beat NoiseFactor·Σ_types √m_t on top of MinSkewReduction to
+	// count as real skew rather than Poisson noise. Disabled by default
+	// (negative): at the paper's 100-queries-per-type scale genuine skew
+	// reductions are comparable to the noise floor, and suppressing them
+	// costs more than the occasional noise split. Set to ~1.0 for
+	// patternless high-volume workloads. Zero means "default" (disabled).
+	NoiseFactor float64
+	// MinPointFrac and MinQueryFrac stop recursion when a node holds fewer
+	// than this fraction of all points / queries (default 0.01 each).
+	MinPointFrac float64
+	MinQueryFrac float64
+	// MinPointsFloor and MinQueriesFloor are absolute lower bounds on the
+	// fraction thresholds (defaults 1024 points, 8 queries). At the paper's
+	// scale (184M–300M rows, 500+ queries) the 1% fractions dominate and
+	// the floors never bind; at small scale they stop the tree from
+	// shattering into statistically meaningless micro-regions.
+	MinPointsFloor  int
+	MinQueriesFloor int
+	// MaxDepth caps recursion depth (default 8).
+	MaxDepth int
+	// MaxNodes caps the total node count, keeping the tree lightweight as
+	// §4.2.2 intends even on patternless workloads (default 64; the
+	// paper's optimized trees have 35–54 nodes).
+	MaxNodes int
+	// DBSCANEps is the query-type clustering radius (default 0.2).
+	DBSCANEps float64
+	// SampleValues caps the number of values used to lay out skew-histogram
+	// bins per node and dimension (default 8192).
+	SampleValues int
+}
+
+func (c *Config) fill() {
+	if c.HistBins <= 0 {
+		c.HistBins = 128
+	}
+	if c.MergeFactor == 0 {
+		c.MergeFactor = 1.1
+	}
+	if c.MergeEps == 0 {
+		c.MergeEps = 0.005
+	}
+	if c.MinSkewReduction == 0 {
+		c.MinSkewReduction = 0.05
+	}
+	if c.NoiseFactor == 0 {
+		c.NoiseFactor = -1 // disabled by default; see Config docs
+	}
+	if c.MinPointFrac == 0 {
+		c.MinPointFrac = 0.01
+	}
+	if c.MinQueryFrac == 0 {
+		c.MinQueryFrac = 0.01
+	}
+	if c.MinPointsFloor == 0 {
+		c.MinPointsFloor = 1024
+	}
+	if c.MinQueriesFloor == 0 {
+		c.MinQueriesFloor = 8
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 8
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 64
+	}
+	if c.DBSCANEps == 0 {
+		c.DBSCANEps = 0.2
+	}
+	if c.SampleValues <= 0 {
+		c.SampleValues = 8192
+	}
+}
+
+// Region is a leaf of the Grid Tree: a box of data space, the rows that
+// fall in it, and the workload queries that intersect it.
+type Region struct {
+	// Lo and Hi are the region's inclusive per-dimension bounds.
+	Lo, Hi []int64
+	// Rows are the store row ids inside the region (pre-reorder).
+	Rows []int
+	// Queries are the sample-workload queries intersecting the region.
+	Queries []query.Query
+	// ID is the region's index in Tree.Regions (DFS order).
+	ID int
+}
+
+// Node is an internal or leaf Grid Tree node. An internal node splitting on
+// k values has k+1 children covering [lo, v1), [v1, v2), ..., [vk, hi]
+// along SplitDim (§4.2.2).
+type Node struct {
+	SplitDim  int
+	SplitVals []int64
+	Children  []*Node
+	Region    *Region // non-nil iff leaf
+}
+
+// Tree is a built Grid Tree.
+type Tree struct {
+	Root     *Node
+	Regions  []*Region
+	NumNodes int
+	Depth    int
+	NumTypes int
+	cfg      Config
+	// committed counts nodes that exist or are promised to pending
+	// recursion, enforcing MaxNodes without DFS-order overshoot.
+	committed int
+}
+
+// Build optimizes a Grid Tree for the dataset and sample workload (§4.3):
+// cluster queries into types, then greedily split nodes on the (dimension,
+// values) pair with the largest skew reduction found via skew trees.
+func Build(st *colstore.Store, queries []query.Query, cfg Config) *Tree {
+	cfg.fill()
+	typed, numTypes := ClusterQueryTypes(st, queries, cfg.DBSCANEps)
+
+	n := st.NumRows()
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	d := st.NumDims()
+	lo := make([]int64, d)
+	hi := make([]int64, d)
+	for j := 0; j < d; j++ {
+		lo[j], hi[j] = st.MinMax(j)
+	}
+
+	t := &Tree{NumTypes: numTypes, cfg: cfg, committed: 1}
+	minPoints := int(cfg.MinPointFrac * float64(n))
+	if minPoints < cfg.MinPointsFloor {
+		minPoints = cfg.MinPointsFloor
+	}
+	minQueries := int(cfg.MinQueryFrac * float64(len(typed)))
+	if minQueries < cfg.MinQueriesFloor {
+		minQueries = cfg.MinQueriesFloor
+	}
+	t.Root = t.build(st, rows, typed, lo, hi, 1, minPoints, minQueries)
+	return t
+}
+
+func (t *Tree) build(st *colstore.Store, rows []int, queries []query.Query, lo, hi []int64, depth, minPoints, minQueries int) *Node {
+	t.NumNodes++
+	if depth > t.Depth {
+		t.Depth = depth
+	}
+	makeLeaf := func() *Node {
+		r := &Region{
+			Lo:      append([]int64(nil), lo...),
+			Hi:      append([]int64(nil), hi...),
+			Rows:    rows,
+			Queries: queries,
+			ID:      len(t.Regions),
+		}
+		t.Regions = append(t.Regions, r)
+		return &Node{Region: r}
+	}
+
+	if depth >= t.cfg.MaxDepth || t.committed >= t.cfg.MaxNodes ||
+		len(rows) <= minPoints || len(queries) <= minQueries {
+		return makeLeaf()
+	}
+
+	// Find the best split dimension: the one whose optimal covering set
+	// achieves the largest skew reduction (§4.3.2).
+	best := splitPlan{reduction: -1}
+	for dim := 0; dim < st.NumDims(); dim++ {
+		if hi[dim] <= lo[dim] {
+			continue
+		}
+		vals := sampleValues(st.Column(dim), rows, t.cfg.SampleValues)
+		plan := planSplit(vals, dim, lo[dim], hi[dim], queries, t.NumTypes, t.cfg)
+		if plan.reduction > best.reduction {
+			best = plan
+		}
+	}
+	// Reject when the reduction is below 5% of the node's query mass plus
+	// the sampling-noise floor (≈√m expected EMD per type of m queries).
+	threshold := t.cfg.MinSkewReduction * float64(len(queries))
+	if t.cfg.NoiseFactor > 0 {
+		perType := make(map[int]int)
+		for _, q := range queries {
+			perType[q.Type]++
+		}
+		noise := 0.0
+		for _, m := range perType {
+			noise += sqrtf(m)
+		}
+		threshold += t.cfg.NoiseFactor * noise
+	}
+	if len(best.values) == 0 || best.reduction < threshold {
+		return makeLeaf()
+	}
+
+	// Clean split values: strictly inside (lo, hi], sorted, deduped.
+	vals := cleanSplitVals(best.values, lo[best.dim], hi[best.dim])
+	if len(vals) == 0 {
+		return makeLeaf()
+	}
+	if t.committed+len(vals)+1 > t.cfg.MaxNodes {
+		return makeLeaf()
+	}
+	t.committed += len(vals) + 1
+
+	nd := &Node{SplitDim: best.dim, SplitVals: vals}
+	nd.Children = make([]*Node, len(vals)+1)
+
+	// Partition rows into children: child i covers [prev, vals[i]) with
+	// prev = lo for i = 0, and the last child covers [vals[k-1], hi].
+	col := st.Column(best.dim)
+	buckets := make([][]int, len(vals)+1)
+	for _, r := range rows {
+		v := col[r]
+		i := sort.Search(len(vals), func(i int) bool { return vals[i] > v })
+		buckets[i] = append(buckets[i], r)
+	}
+
+	for i := range nd.Children {
+		clo := append([]int64(nil), lo...)
+		chi := append([]int64(nil), hi...)
+		if i > 0 {
+			clo[best.dim] = vals[i-1]
+		}
+		if i < len(vals) {
+			chi[best.dim] = vals[i] - 1
+		}
+		var cq []query.Query
+		for _, q := range queries {
+			if queryIntersects(q, best.dim, clo[best.dim], chi[best.dim]) {
+				cq = append(cq, q)
+			}
+		}
+		nd.Children[i] = t.build(st, buckets[i], cq, clo, chi, depth+1, minPoints, minQueries)
+	}
+	return nd
+}
+
+func sqrtf(m int) float64 {
+	return math.Sqrt(float64(m))
+}
+
+func cleanSplitVals(vals []int64, lo, hi int64) []int64 {
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := sorted[:0]
+	for _, v := range sorted {
+		if v <= lo || v > hi {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func queryIntersects(q query.Query, dim int, lo, hi int64) bool {
+	f, ok := q.Filter(dim)
+	if !ok {
+		return true
+	}
+	return f.Hi >= lo && f.Lo <= hi
+}
+
+// sampleValues gathers up to max values of col at rows (strided).
+func sampleValues(col []int64, rows []int, max int) []int64 {
+	if len(rows) <= max {
+		return gatherRows(col, rows)
+	}
+	out := make([]int64, max)
+	stride := len(rows) / max
+	for i := range out {
+		out[i] = col[rows[i*stride]]
+	}
+	return out
+}
+
+func gatherRows(col []int64, rows []int) []int64 {
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = col[r]
+	}
+	return out
+}
+
+// FindRegions appends to dst every leaf region intersecting q and returns
+// the result (§4.2.2 query processing).
+func (t *Tree) FindRegions(q query.Query, dst []*Region) []*Region {
+	return findRegions(t.Root, q, dst)
+}
+
+func findRegions(nd *Node, q query.Query, dst []*Region) []*Region {
+	if nd.Region != nil {
+		return append(dst, nd.Region)
+	}
+	f, ok := q.Filter(nd.SplitDim)
+	if !ok {
+		for _, c := range nd.Children {
+			dst = findRegions(c, q, dst)
+		}
+		return dst
+	}
+	// Children i covers [v_{i-1}, v_i): find the child range intersecting
+	// [f.Lo, f.Hi].
+	first := sort.Search(len(nd.SplitVals), func(i int) bool { return nd.SplitVals[i] > f.Lo })
+	last := sort.Search(len(nd.SplitVals), func(i int) bool { return nd.SplitVals[i] > f.Hi })
+	for i := first; i <= last; i++ {
+		dst = findRegions(nd.Children[i], q, dst)
+	}
+	return dst
+}
+
+// SizeBytes reports the tree's memory footprint: per internal node the
+// split dim, values, and child pointers; regions' bounds.
+func (t *Tree) SizeBytes() uint64 {
+	var size uint64
+	var walk func(nd *Node)
+	walk = func(nd *Node) {
+		if nd.Region != nil {
+			size += uint64(len(nd.Region.Lo)) * 16
+			return
+		}
+		size += 8 + uint64(len(nd.SplitVals))*8 + uint64(len(nd.Children))*8
+		for _, c := range nd.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return size
+}

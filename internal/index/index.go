@@ -1,0 +1,87 @@
+// Package index defines the interface every clustered multi-dimensional
+// index in this repository implements, plus the FullScan baseline that
+// serves as ground truth in tests.
+//
+// All indexes are *clustered* (§2): building one physically reorders the
+// column store, and queries resolve to contiguous physical ranges that the
+// store scans.
+package index
+
+import (
+	"repro/internal/colstore"
+	"repro/internal/query"
+)
+
+// Index is a clustered multi-dimensional index over a column store.
+type Index interface {
+	// Name identifies the index in experiment output.
+	Name() string
+	// Execute runs the query and returns the aggregate plus scan statistics.
+	Execute(q query.Query) colstore.ScanResult
+	// SizeBytes reports the index structure's memory footprint, excluding
+	// the column data itself (the paper's "index size" metric, Fig 8).
+	SizeBytes() uint64
+}
+
+// BuildStats records how long an index build spent in its two phases,
+// reported by Fig 9b (solid bars = sorting, hatched = optimization).
+type BuildStats struct {
+	SortSeconds     float64
+	OptimizeSeconds float64
+}
+
+// FullScan answers queries by scanning the entire table. It is the ground
+// truth every other index is validated against, and the degenerate index
+// with zero size.
+type FullScan struct {
+	store *colstore.Store
+}
+
+// NewFullScan wraps a store (not copied; FullScan never reorders).
+func NewFullScan(s *colstore.Store) *FullScan { return &FullScan{store: s} }
+
+// Name implements Index.
+func (f *FullScan) Name() string { return "FullScan" }
+
+// Execute implements Index by scanning every row.
+func (f *FullScan) Execute(q query.Query) colstore.ScanResult {
+	var res colstore.ScanResult
+	f.store.ScanRange(q, 0, f.store.NumRows(), false, &res)
+	return res
+}
+
+// SizeBytes implements Index; a full scan needs no structure.
+func (f *FullScan) SizeBytes() uint64 { return 0 }
+
+// Selectivity returns the fraction of rows matching q, computed exactly by
+// full scan. Workload generators and tuners use it.
+func Selectivity(s *colstore.Store, q query.Query) float64 {
+	var res colstore.ScanResult
+	cq := q
+	cq.Agg = query.Count
+	s.ScanRange(cq, 0, s.NumRows(), false, &res)
+	if s.NumRows() == 0 {
+		return 0
+	}
+	return float64(res.Count) / float64(s.NumRows())
+}
+
+// DimSelectivity returns the fraction of rows matching only the filter on
+// one dimension of q (1.0 when the dim is unfiltered).
+func DimSelectivity(s *colstore.Store, q query.Query, dim int) float64 {
+	f, ok := q.Filter(dim)
+	if !ok {
+		return 1.0
+	}
+	col := s.Column(dim)
+	cnt := 0
+	for _, v := range col {
+		if v >= f.Lo && v <= f.Hi {
+			cnt++
+		}
+	}
+	if len(col) == 0 {
+		return 0
+	}
+	return float64(cnt) / float64(len(col))
+}

@@ -1,0 +1,209 @@
+// Package octree implements the hyperoctree baseline (§6.1): space is
+// recursively subdivided equally into hyperoctants (the d-dimensional
+// analog of quadrants) until each leaf holds at most pageSize points.
+//
+// Children are kept sparsely — only non-empty octants materialize — so the
+// structure stays feasible at high dimensionality (2^d potential children
+// per node, Fig 10 goes to d=20).
+package octree
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/index"
+	"repro/internal/query"
+)
+
+// Index is a clustered hyperoctree.
+type Index struct {
+	store    *colstore.Store
+	root     *node
+	pageSize int
+	numNodes int
+	maxDepth int
+	stats    index.BuildStats
+}
+
+type node struct {
+	lo, hi   []int64 // inclusive region bounds
+	children map[uint32]*node
+	// Leaf range [start, end) in physical storage.
+	start, end int
+	leaf       bool
+}
+
+// Config controls the build.
+type Config struct {
+	// PageSize is the maximum points per leaf (default 4096).
+	PageSize int
+	// MaxDepth bounds recursion; beyond it oversized leaves are accepted
+	// (default 24).
+	MaxDepth int
+}
+
+// Build constructs the hyperoctree over a clone of s.
+func Build(s *colstore.Store, cfg Config) *Index {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 4096
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 24
+	}
+	if s.NumDims() > 32 {
+		panic("octree: more than 32 dimensions not supported")
+	}
+	sortStart := time.Now()
+	clone := s.Clone()
+	x := &Index{store: clone, pageSize: cfg.PageSize, maxDepth: cfg.MaxDepth}
+	n := clone.NumRows()
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	d := clone.NumDims()
+	lo := make([]int64, d)
+	hi := make([]int64, d)
+	for j := 0; j < d; j++ {
+		lo[j], hi[j] = clone.MinMax(j)
+	}
+	x.root = x.build(rows, 0, 0, lo, hi)
+	if err := clone.Reorder(rows); err != nil {
+		panic("octree: " + err.Error())
+	}
+	x.stats = index.BuildStats{SortSeconds: time.Since(sortStart).Seconds()}
+	return x
+}
+
+func (x *Index) build(rows []int, offset, depth int, lo, hi []int64) *node {
+	x.numNodes++
+	nd := &node{lo: append([]int64(nil), lo...), hi: append([]int64(nil), hi...)}
+	if len(rows) <= x.pageSize || depth >= x.maxDepth || !splittable(lo, hi) {
+		nd.leaf = true
+		nd.start, nd.end = offset, offset+len(rows)
+		return nd
+	}
+	d := x.store.NumDims()
+	mid := make([]int64, d)
+	for j := 0; j < d; j++ {
+		// Midpoint; for a one-value extent the dimension contributes no bit.
+		mid[j] = lo[j] + (hi[j]-lo[j])/2
+	}
+	// Bucket rows by octant key: bit j set iff value > mid[j].
+	buckets := make(map[uint32][]int)
+	for _, r := range rows {
+		var key uint32
+		for j := 0; j < d; j++ {
+			if x.store.Value(r, j) > mid[j] {
+				key |= 1 << uint(j)
+			}
+		}
+		buckets[key] = append(buckets[key], r)
+	}
+	if len(buckets) == 1 {
+		// Degenerate: all points in one octant of a splittable box — recurse
+		// directly into the shrunken box to avoid infinite same-size loops.
+		for key, b := range buckets {
+			clo, chi := octantBounds(lo, hi, mid, key)
+			copy(rows, b)
+			nd.children = map[uint32]*node{key: x.build(rows, offset, depth+1, clo, chi)}
+		}
+		return nd
+	}
+	nd.children = make(map[uint32]*node, len(buckets))
+	// Deterministic order: ascending key.
+	keys := make([]uint32, 0, len(buckets))
+	for key := range buckets {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	cur := offset
+	pos := 0
+	for _, key := range keys {
+		b := buckets[key]
+		clo, chi := octantBounds(lo, hi, mid, key)
+		copy(rows[pos:pos+len(b)], b)
+		nd.children[key] = x.build(rows[pos:pos+len(b)], cur, depth+1, clo, chi)
+		cur += len(b)
+		pos += len(b)
+	}
+	return nd
+}
+
+func splittable(lo, hi []int64) bool {
+	for j := range lo {
+		if hi[j] > lo[j] {
+			return true
+		}
+	}
+	return false
+}
+
+func octantBounds(lo, hi, mid []int64, key uint32) ([]int64, []int64) {
+	d := len(lo)
+	clo := make([]int64, d)
+	chi := make([]int64, d)
+	for j := 0; j < d; j++ {
+		if key&(1<<uint(j)) != 0 {
+			clo[j], chi[j] = mid[j]+1, hi[j]
+		} else {
+			clo[j], chi[j] = lo[j], mid[j]
+		}
+	}
+	return clo, chi
+}
+
+// Name implements index.Index.
+func (x *Index) Name() string { return "Hyperoctree" }
+
+// NumNodes returns the total node count.
+func (x *Index) NumNodes() int { return x.numNodes }
+
+// BuildStats returns the build timing split.
+func (x *Index) BuildStats() index.BuildStats { return x.stats }
+
+// Execute implements index.Index.
+func (x *Index) Execute(q query.Query) colstore.ScanResult {
+	var res colstore.ScanResult
+	x.visit(x.root, q, &res)
+	return res
+}
+
+func (x *Index) visit(nd *node, q query.Query, res *colstore.ScanResult) {
+	if !boxIntersects(q, nd.lo, nd.hi) {
+		return
+	}
+	if nd.leaf {
+		exact := boxContained(q, nd.lo, nd.hi)
+		x.store.ScanRange(q, nd.start, nd.end, exact, res)
+		return
+	}
+	for _, c := range nd.children {
+		x.visit(c, q, res)
+	}
+}
+
+func boxIntersects(q query.Query, lo, hi []int64) bool {
+	for _, f := range q.Filters {
+		if hi[f.Dim] < f.Lo || lo[f.Dim] > f.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+func boxContained(q query.Query, lo, hi []int64) bool {
+	for _, f := range q.Filters {
+		if lo[f.Dim] < f.Lo || hi[f.Dim] > f.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes implements index.Index: per-node bounds plus child map entries.
+func (x *Index) SizeBytes() uint64 {
+	d := uint64(x.store.NumDims())
+	return uint64(x.numNodes) * (48 + 16*d)
+}

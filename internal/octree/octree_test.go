@@ -1,0 +1,86 @@
+package octree
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/testutil"
+)
+
+func TestOctreeMatchesFullScan(t *testing.T) {
+	st := testutil.SmallTaxi(8000, 1)
+	qs := testutil.RandomQueries(st, 150, 2)
+	idx := Build(st, Config{PageSize: 256})
+	testutil.CheckMatchesFullScan(t, idx, st, qs)
+}
+
+func TestOctreeSmallPages(t *testing.T) {
+	st := testutil.SmallTaxi(2000, 3)
+	qs := testutil.RandomQueries(st, 80, 4)
+	idx := Build(st, Config{PageSize: 32})
+	testutil.CheckMatchesFullScan(t, idx, st, qs)
+}
+
+func TestOctreeLeavesCoverAllPoints(t *testing.T) {
+	st := testutil.SmallTaxi(4000, 5)
+	idx := Build(st, Config{PageSize: 128})
+	total := 0
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd.leaf {
+			total += nd.end - nd.start
+			return
+		}
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	walk(idx.root)
+	if total != 4000 {
+		t.Errorf("leaves cover %d points, want 4000", total)
+	}
+}
+
+func TestOctreeUnfiltered(t *testing.T) {
+	st := testutil.SmallTaxi(1000, 6)
+	idx := Build(st, Config{PageSize: 64})
+	if res := idx.Execute(query.NewCount()); res.Count != 1000 {
+		t.Errorf("count = %d, want 1000", res.Count)
+	}
+}
+
+func TestOctreeConstantColumn(t *testing.T) {
+	st := testutil.SmallTaxi(2000, 7)
+	for j := 0; j < st.NumDims(); j++ {
+		col := st.Column(j)
+		for i := range col {
+			col[i] = 42 // fully degenerate: a single point value
+		}
+	}
+	idx := Build(st, Config{PageSize: 100})
+	res := idx.Execute(query.NewCount(query.Filter{Dim: 0, Lo: 42, Hi: 42}))
+	if res.Count != 2000 {
+		t.Errorf("count = %d, want 2000", res.Count)
+	}
+}
+
+func TestOctreeMaxDepthBounds(t *testing.T) {
+	st := testutil.SmallTaxi(4000, 8)
+	idx := Build(st, Config{PageSize: 1, MaxDepth: 3})
+	var depth func(nd *node) int
+	depth = func(nd *node) int {
+		if nd.leaf {
+			return 1
+		}
+		max := 0
+		for _, c := range nd.children {
+			if d := depth(c); d > max {
+				max = d
+			}
+		}
+		return max + 1
+	}
+	if d := depth(idx.root); d > 4 {
+		t.Errorf("depth = %d, want <= 4 with MaxDepth 3", d)
+	}
+}

@@ -1,0 +1,35 @@
+package qparse
+
+import (
+	"testing"
+)
+
+// FuzzParse ensures the CLI query parser never panics and that successful
+// parses produce structurally valid queries.
+func FuzzParse(f *testing.F) {
+	names := []string{"day", "store", "price", "qty"}
+	for _, seed := range []string{
+		"count qty=5",
+		"sum price day>=100",
+		"count 10<=day<=20 store=3",
+		"explain price<100",
+		"count d2<=500",
+		"count 100<=price",
+		"count",
+		"sum",
+		"garbage <<== =",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		q, err := Parse(line, names)
+		if err != nil {
+			return
+		}
+		for _, flt := range q.Filters {
+			if flt.Dim < 0 || flt.Dim >= len(names) {
+				t.Fatalf("parsed filter with out-of-range dim %d from %q", flt.Dim, line)
+			}
+		}
+	})
+}

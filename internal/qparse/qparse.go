@@ -1,0 +1,221 @@
+// Package qparse parses the small filter language used by the tsunami-cli
+// tool into queries:
+//
+//	count price<=2500 qty=3 10<=day<=200
+//	sum price day>=700 store=12
+//
+// Each whitespace-separated term is one predicate over a named column:
+//
+//	col=v        equality
+//	col<=v       upper bound        col<v    strict upper bound
+//	col>=v       lower bound        col>v    strict lower bound
+//	a<=col<=b    range (also with < on either side)
+//
+// Terms over the same column intersect.
+package qparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// Parse builds a query from a command line. names maps column names to
+// dimensions. verb must be "count" or "sum"; for "sum" the first argument
+// is the aggregated column.
+func Parse(line string, names []string) (query.Query, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return query.Query{}, fmt.Errorf("empty query")
+	}
+	verb := strings.ToLower(fields[0])
+	args := fields[1:]
+
+	dimOf := func(name string) (int, error) {
+		for i, n := range names {
+			if n == name {
+				return i, nil
+			}
+		}
+		// Also accept d0, d1, ... positional names.
+		if strings.HasPrefix(name, "d") {
+			if i, err := strconv.Atoi(name[1:]); err == nil && i >= 0 && i < len(names) {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("unknown column %q (have %s)", name, strings.Join(names, ", "))
+	}
+
+	var q query.Query
+	switch verb {
+	case "count", "explain":
+		q = query.NewCount()
+	case "sum":
+		if len(args) == 0 {
+			return q, fmt.Errorf("sum needs an aggregated column")
+		}
+		dim, err := dimOf(args[0])
+		if err != nil {
+			return q, err
+		}
+		q = query.NewSum(dim)
+		args = args[1:]
+	default:
+		return q, fmt.Errorf("unknown verb %q (count, sum, explain)", verb)
+	}
+
+	var filters []query.Filter
+	for _, term := range args {
+		f, err := parseTerm(term, dimOf)
+		if err != nil {
+			return q, err
+		}
+		filters = append(filters, f)
+	}
+	if q.Agg == query.Sum {
+		out := query.NewSum(q.AggDim, filters...)
+		return out, nil
+	}
+	out := query.NewCount(filters...)
+	return out, nil
+}
+
+// parseTerm parses one predicate term.
+func parseTerm(term string, dimOf func(string) (int, error)) (query.Filter, error) {
+	// Split on comparison operators, keeping them. A term has one or two
+	// operators: col<=v, v<=col<=v, col=v, ...
+	parts, ops, err := tokenize(term)
+	if err != nil {
+		return query.Filter{}, err
+	}
+	switch len(ops) {
+	case 1:
+		l, r := parts[0], parts[1]
+		lv, lErr := strconv.ParseInt(l, 10, 64)
+		rv, rErr := strconv.ParseInt(r, 10, 64)
+		switch {
+		case lErr != nil && rErr == nil: // col OP value
+			dim, err := dimOf(l)
+			if err != nil {
+				return query.Filter{}, err
+			}
+			return filterFromOp(dim, ops[0], rv, false)
+		case lErr == nil && rErr != nil: // value OP col  (flip)
+			dim, err := dimOf(r)
+			if err != nil {
+				return query.Filter{}, err
+			}
+			return filterFromOp(dim, ops[0], lv, true)
+		default:
+			return query.Filter{}, fmt.Errorf("cannot parse term %q", term)
+		}
+	case 2:
+		// a OP col OP b
+		a, c, b := parts[0], parts[1], parts[2]
+		av, aErr := strconv.ParseInt(a, 10, 64)
+		bv, bErr := strconv.ParseInt(b, 10, 64)
+		if aErr != nil || bErr != nil {
+			return query.Filter{}, fmt.Errorf("range term %q needs numeric bounds", term)
+		}
+		dim, err := dimOf(c)
+		if err != nil {
+			return query.Filter{}, err
+		}
+		lo, err := boundFrom(ops[0], av, true)
+		if err != nil {
+			return query.Filter{}, fmt.Errorf("term %q: %w", term, err)
+		}
+		hi, err := boundFrom(ops[1], bv, false)
+		if err != nil {
+			return query.Filter{}, fmt.Errorf("term %q: %w", term, err)
+		}
+		return query.Filter{Dim: dim, Lo: lo, Hi: hi}, nil
+	default:
+		return query.Filter{}, fmt.Errorf("cannot parse term %q", term)
+	}
+}
+
+// tokenize splits a term like "10<=day<200" into parts ["10","day","200"]
+// and ops ["<=","<"].
+func tokenize(term string) ([]string, []string, error) {
+	var parts, ops []string
+	cur := strings.Builder{}
+	i := 0
+	for i < len(term) {
+		c := term[i]
+		if c == '<' || c == '>' || c == '=' {
+			op := string(c)
+			if (c == '<' || c == '>') && i+1 < len(term) && term[i+1] == '=' {
+				op += "="
+				i++
+			}
+			parts = append(parts, cur.String())
+			cur.Reset()
+			ops = append(ops, op)
+			i++
+			continue
+		}
+		cur.WriteByte(c)
+		i++
+	}
+	parts = append(parts, cur.String())
+	for _, p := range parts {
+		if p == "" {
+			return nil, nil, fmt.Errorf("malformed term %q", term)
+		}
+	}
+	if len(ops) == 0 || len(ops) > 2 {
+		return nil, nil, fmt.Errorf("term %q needs 1 or 2 comparisons", term)
+	}
+	return parts, ops, nil
+}
+
+// filterFromOp builds a one-sided filter. flipped means the value was on
+// the left ("5<=col" instead of "col>=5").
+func filterFromOp(dim int, op string, v int64, flipped bool) (query.Filter, error) {
+	if flipped {
+		switch op {
+		case "<=":
+			op = ">="
+		case "<":
+			op = ">"
+		case ">=":
+			op = "<="
+		case ">":
+			op = "<"
+		}
+	}
+	f := query.Filter{Dim: dim, Lo: query.NoLo, Hi: query.NoHi}
+	switch op {
+	case "=":
+		f.Lo, f.Hi = v, v
+	case "<=":
+		f.Hi = v
+	case "<":
+		f.Hi = v - 1
+	case ">=":
+		f.Lo = v
+	case ">":
+		f.Lo = v + 1
+	default:
+		return f, fmt.Errorf("unknown operator %q", op)
+	}
+	return f, nil
+}
+
+// boundFrom interprets the operator of a two-sided range term.
+func boundFrom(op string, v int64, isLower bool) (int64, error) {
+	switch op {
+	case "<=":
+		return v, nil
+	case "<":
+		if isLower {
+			return v + 1, nil
+		}
+		return v - 1, nil
+	default:
+		return 0, fmt.Errorf("range terms use < or <=, got %q", op)
+	}
+}

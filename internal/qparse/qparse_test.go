@@ -1,0 +1,118 @@
+package qparse
+
+import (
+	"testing"
+
+	"repro/internal/query"
+)
+
+var names = []string{"day", "store", "price", "qty"}
+
+func mustParse(t *testing.T, line string) query.Query {
+	t.Helper()
+	q, err := Parse(line, names)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", line, err)
+	}
+	return q
+}
+
+func TestParseCountEquality(t *testing.T) {
+	q := mustParse(t, "count qty=5")
+	if q.Agg != query.Count {
+		t.Error("expected COUNT")
+	}
+	f, ok := q.Filter(3)
+	if !ok || f.Lo != 5 || f.Hi != 5 {
+		t.Errorf("filter = %+v", f)
+	}
+}
+
+func TestParseSum(t *testing.T) {
+	q := mustParse(t, "sum price day>=100")
+	if q.Agg != query.Sum || q.AggDim != 2 {
+		t.Errorf("agg = %v dim %d", q.Agg, q.AggDim)
+	}
+	f, _ := q.Filter(0)
+	if f.Lo != 100 || f.Hi != query.NoHi {
+		t.Errorf("filter = %+v", f)
+	}
+}
+
+func TestParseTwoSidedRange(t *testing.T) {
+	q := mustParse(t, "count 10<=day<=20")
+	f, _ := q.Filter(0)
+	if f.Lo != 10 || f.Hi != 20 {
+		t.Errorf("filter = %+v", f)
+	}
+	q = mustParse(t, "count 10<day<20")
+	f, _ = q.Filter(0)
+	if f.Lo != 11 || f.Hi != 19 {
+		t.Errorf("strict range filter = %+v", f)
+	}
+}
+
+func TestParseStrictOneSided(t *testing.T) {
+	q := mustParse(t, "count price<100")
+	f, _ := q.Filter(2)
+	if f.Hi != 99 || f.Lo != query.NoLo {
+		t.Errorf("filter = %+v", f)
+	}
+	q = mustParse(t, "count price>100")
+	f, _ = q.Filter(2)
+	if f.Lo != 101 {
+		t.Errorf("filter = %+v", f)
+	}
+}
+
+func TestParseFlippedComparison(t *testing.T) {
+	q := mustParse(t, "count 100<=price")
+	f, _ := q.Filter(2)
+	if f.Lo != 100 || f.Hi != query.NoHi {
+		t.Errorf("flipped filter = %+v", f)
+	}
+}
+
+func TestParseMultipleTermsIntersect(t *testing.T) {
+	q := mustParse(t, "count day>=10 day<=20 store=3")
+	f, _ := q.Filter(0)
+	if f.Lo != 10 || f.Hi != 20 {
+		t.Errorf("intersected filter = %+v", f)
+	}
+	if len(q.Filters) != 2 {
+		t.Errorf("filters = %d, want 2", len(q.Filters))
+	}
+}
+
+func TestParsePositionalNames(t *testing.T) {
+	q := mustParse(t, "count d2<=500")
+	if _, ok := q.Filter(2); !ok {
+		t.Error("positional column name d2 not resolved")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"frobnicate qty=5",
+		"count nosuchcol=5",
+		"count qty",
+		"count qty=abc",
+		"count 5=6",
+		"sum",
+		"count 1<=qty<=2<=3",
+		"count <=5",
+		"count 10>=day>=2", // two-sided must use < or <=
+	} {
+		if _, err := Parse(line, names); err == nil {
+			t.Errorf("Parse(%q) should fail", line)
+		}
+	}
+}
+
+func TestParseExplainVerb(t *testing.T) {
+	q := mustParse(t, "explain qty=1")
+	if q.Agg != query.Count {
+		t.Error("explain should parse as COUNT")
+	}
+}

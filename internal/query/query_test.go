@@ -1,0 +1,132 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFilterMatches(t *testing.T) {
+	f := Filter{Dim: 0, Lo: 10, Hi: 20}
+	for _, tc := range []struct {
+		v    int64
+		want bool
+	}{{9, false}, {10, true}, {15, true}, {20, true}, {21, false}} {
+		if got := f.Matches(tc.v); got != tc.want {
+			t.Errorf("Matches(%d) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestFilterEquality(t *testing.T) {
+	if !(Filter{Dim: 0, Lo: 5, Hi: 5}).IsEquality() {
+		t.Error("Lo==Hi should be equality")
+	}
+	if (Filter{Dim: 0, Lo: 5, Hi: 6}).IsEquality() {
+		t.Error("Lo<Hi should not be equality")
+	}
+}
+
+func TestNormalizeMergesDuplicateDims(t *testing.T) {
+	q := NewCount(
+		Filter{Dim: 1, Lo: 0, Hi: 100},
+		Filter{Dim: 0, Lo: 5, Hi: 50},
+		Filter{Dim: 1, Lo: 10, Hi: 200},
+	)
+	if len(q.Filters) != 2 {
+		t.Fatalf("got %d filters, want 2", len(q.Filters))
+	}
+	if q.Filters[0].Dim != 0 || q.Filters[1].Dim != 1 {
+		t.Errorf("filters not sorted by dim: %+v", q.Filters)
+	}
+	if q.Filters[1].Lo != 10 || q.Filters[1].Hi != 100 {
+		t.Errorf("duplicate filters not intersected: %+v", q.Filters[1])
+	}
+}
+
+func TestFilterLookup(t *testing.T) {
+	q := NewCount(Filter{Dim: 2, Lo: 1, Hi: 2})
+	if _, ok := q.Filter(0); ok {
+		t.Error("found filter for unfiltered dim")
+	}
+	f, ok := q.Filter(2)
+	if !ok || f.Lo != 1 || f.Hi != 2 {
+		t.Errorf("Filter(2) = %+v, %v", f, ok)
+	}
+}
+
+func TestDimSetKey(t *testing.T) {
+	a := NewCount(Filter{Dim: 0, Lo: 1, Hi: 2}, Filter{Dim: 3, Lo: 1, Hi: 2})
+	b := NewCount(Filter{Dim: 3, Lo: 9, Hi: 9}, Filter{Dim: 0, Lo: 0, Hi: 0})
+	c := NewCount(Filter{Dim: 0, Lo: 1, Hi: 2})
+	if a.DimSetKey() != b.DimSetKey() {
+		t.Errorf("same dim sets, different keys: %q vs %q", a.DimSetKey(), b.DimSetKey())
+	}
+	if a.DimSetKey() == c.DimSetKey() {
+		t.Errorf("different dim sets, same key: %q", a.DimSetKey())
+	}
+}
+
+func TestMatchesRow(t *testing.T) {
+	q := NewCount(Filter{Dim: 0, Lo: 0, Hi: 9}, Filter{Dim: 2, Lo: 100, Hi: 100})
+	if !q.MatchesRow([]int64{5, 77, 100}) {
+		t.Error("row should match")
+	}
+	if q.MatchesRow([]int64{5, 77, 101}) {
+		t.Error("row should not match (equality fails)")
+	}
+	if q.MatchesRow([]int64{10, 77, 100}) {
+		t.Error("row should not match (range fails)")
+	}
+}
+
+func TestClip(t *testing.T) {
+	q := NewCount(Filter{Dim: 0, Lo: 0, Hi: 100}, Filter{Dim: 1, Lo: 50, Hi: 60})
+	clipped, ok := q.Clip([]int64{20, 0}, []int64{80, 100})
+	if !ok {
+		t.Fatal("clip should succeed")
+	}
+	f0, _ := clipped.Filter(0)
+	if f0.Lo != 20 || f0.Hi != 80 {
+		t.Errorf("dim 0 clip = %+v", f0)
+	}
+	f1, _ := clipped.Filter(1)
+	if f1.Lo != 50 || f1.Hi != 60 {
+		t.Errorf("dim 1 should be unchanged, got %+v", f1)
+	}
+	if _, ok := q.Clip([]int64{0, 90}, []int64{100, 100}); ok {
+		t.Error("clip to empty intersection should fail")
+	}
+}
+
+func TestClipPropertyNeverWidens(t *testing.T) {
+	prop := func(lo, hi, clo, chi int16) bool {
+		l, h := int64(lo), int64(hi)
+		if l > h {
+			l, h = h, l
+		}
+		cl, ch := int64(clo), int64(chi)
+		if cl > ch {
+			cl, ch = ch, cl
+		}
+		q := NewCount(Filter{Dim: 0, Lo: l, Hi: h})
+		clipped, ok := q.Clip([]int64{cl}, []int64{ch})
+		if !ok {
+			// Empty intersection is only legal when ranges are disjoint.
+			return h < cl || l > ch
+		}
+		f, _ := clipped.Filter(0)
+		return f.Lo >= l && f.Hi <= h && f.Lo >= cl && f.Hi <= ch && f.Lo <= f.Hi
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	q := NewSum(1, Filter{Dim: 0, Lo: 3, Hi: 3}, Filter{Dim: 2, Lo: 1, Hi: 5})
+	got := q.String()
+	want := "SUM(d1) WHERE d0=3 AND 1<=d2<=5"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,73 @@
+package singledim
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/testutil"
+)
+
+func TestSingleDimMatchesFullScan(t *testing.T) {
+	st := testutil.SmallTaxi(8000, 1)
+	qs := testutil.RandomQueries(st, 150, 2)
+	idx := Build(st, qs[:50], -1)
+	testutil.CheckMatchesFullScan(t, idx, st, qs)
+}
+
+func TestSingleDimExplicitDim(t *testing.T) {
+	st := testutil.SmallTaxi(3000, 3)
+	qs := testutil.RandomQueries(st, 100, 4)
+	for dim := 0; dim < st.NumDims(); dim++ {
+		idx := Build(st, nil, dim)
+		if idx.SortDim() != dim {
+			t.Fatalf("sort dim = %d, want %d", idx.SortDim(), dim)
+		}
+		testutil.CheckMatchesFullScan(t, idx, st, qs)
+	}
+}
+
+func TestSingleDimDataSorted(t *testing.T) {
+	st := testutil.SmallTaxi(2000, 5)
+	idx := Build(st, nil, 2)
+	col := idx.store.Column(2)
+	if !sort.SliceIsSorted(col, func(a, b int) bool { return col[a] < col[b] }) {
+		t.Error("store not sorted by sort dimension")
+	}
+}
+
+func TestSingleDimOnlySortFilterIsExact(t *testing.T) {
+	st := testutil.SmallTaxi(2000, 6)
+	idx := Build(st, nil, 0)
+	lo, hi := st.MinMax(0)
+	q := query.NewCount(query.Filter{Dim: 0, Lo: lo, Hi: (lo + hi) / 2})
+	res := idx.Execute(q)
+	// Exact range: COUNT should touch no column data.
+	if res.PointsScanned != 0 {
+		t.Errorf("sort-dim-only COUNT scanned %d points, want 0 (exact range)", res.PointsScanned)
+	}
+	if res.Count == 0 {
+		t.Error("expected nonzero count")
+	}
+}
+
+func TestMostSelectiveDimPrefersEqualityDim(t *testing.T) {
+	st := testutil.SmallTaxi(4000, 7)
+	lo, hi := st.MinMax(0)
+	wide := query.Filter{Dim: 0, Lo: lo, Hi: hi} // selects everything
+	narrow := query.Filter{Dim: 4, Lo: 1, Hi: 1} // pax == 1, ~1/6
+	qs := []query.Query{query.NewCount(wide), query.NewCount(narrow)}
+	if dim := MostSelectiveDim(st, qs); dim != 4 {
+		t.Errorf("most selective dim = %d, want 4", dim)
+	}
+}
+
+func TestSingleDimUnfilteredSortDimFallsBack(t *testing.T) {
+	st := testutil.SmallTaxi(1000, 8)
+	idx := Build(st, nil, 0)
+	q := query.NewCount(query.Filter{Dim: 2, Lo: 0, Hi: 100})
+	res := idx.Execute(q)
+	if res.PointsScanned != 1000 {
+		t.Errorf("fallback should scan all rows, scanned %d", res.PointsScanned)
+	}
+}

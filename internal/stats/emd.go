@@ -1,0 +1,53 @@
+package stats
+
+// EMD computes the 1-D Earth Mover's Distance between two discrete
+// distributions p1 and p2 defined over the same bins with unit ground
+// distance between adjacent bins. The vectors must have equal length; they
+// are compared as given (unnormalized), so if their totals differ the
+// leftover mass is charged at distance 1.
+//
+// For equal-total vectors the closed form is sum_i |prefix_i(p1 - p2)|,
+// which is what the skew definition in §4.2.1 relies on.
+func EMD(p1, p2 []float64) float64 {
+	n := len(p1)
+	if len(p2) < n {
+		n = len(p2)
+	}
+	emd := 0.0
+	prefix := 0.0
+	for i := 0; i < n-1; i++ {
+		prefix += p1[i] - p2[i]
+		if prefix < 0 {
+			emd -= prefix
+		} else {
+			emd += prefix
+		}
+	}
+	// Charge any total-mass mismatch (including tail bins of the longer
+	// vector) at unit distance so EMD remains a sane dissimilarity.
+	t1, t2 := 0.0, 0.0
+	for _, v := range p1 {
+		t1 += v
+	}
+	for _, v := range p2 {
+		t2 += v
+	}
+	diff := t1 - t2
+	if diff < 0 {
+		diff = -diff
+	}
+	return emd + diff
+}
+
+// Uniform returns an n-bin vector holding total mass spread evenly.
+func Uniform(n int, total float64) []float64 {
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	per := total / float64(n)
+	for i := range out {
+		out[i] = per
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package stats
+
+// LinReg is a simple least-squares linear regression y ≈ Slope*x + Intercept
+// together with the residual extrema needed by functional mappings (§5.2.1):
+// every observed y lies within [predict(x)+ErrLo, predict(x)+ErrHi].
+type LinReg struct {
+	Slope     float64
+	Intercept float64
+	ErrLo     float64 // most negative residual (<= 0)
+	ErrHi     float64 // most positive residual (>= 0)
+	N         int
+}
+
+// FitLinReg fits y on x and records residual bounds. Inputs must have equal
+// length; a fit over fewer than 2 points degenerates to a constant model.
+func FitLinReg(x, y []int64) LinReg {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	if n == 0 {
+		return LinReg{}
+	}
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < n; i++ {
+		fx, fy := float64(x[i]), float64(y[i])
+		sx += fx
+		sy += fy
+		sxx += fx * fx
+		sxy += fx * fy
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	lr := LinReg{N: n}
+	if den != 0 {
+		lr.Slope = (fn*sxy - sx*sy) / den
+		lr.Intercept = (sy - lr.Slope*sx) / fn
+	} else {
+		lr.Intercept = sy / fn
+	}
+	for i := 0; i < n; i++ {
+		r := float64(y[i]) - lr.Predict(float64(x[i]))
+		if r < lr.ErrLo {
+			lr.ErrLo = r
+		}
+		if r > lr.ErrHi {
+			lr.ErrHi = r
+		}
+	}
+	return lr
+}
+
+// Predict evaluates the regression at x.
+func (l LinReg) Predict(x float64) float64 { return l.Slope*x + l.Intercept }
+
+// Bounds maps an input range [xlo, xhi] to an output range guaranteed to
+// contain y for every observed (x, y) with x in the range. It accounts for
+// negative slopes by evaluating both endpoints.
+func (l LinReg) Bounds(xlo, xhi float64) (float64, float64) {
+	a, b := l.Predict(xlo), l.Predict(xhi)
+	if a > b {
+		a, b = b, a
+	}
+	return a + l.ErrLo, b + l.ErrHi
+}
+
+// ErrSpan returns the width of the residual band.
+func (l LinReg) ErrSpan() float64 { return l.ErrHi - l.ErrLo }

@@ -1,0 +1,119 @@
+// Package testutil provides shared fixtures for index correctness tests:
+// small seeded datasets, workloads, and the one invariant every index must
+// satisfy — agreeing with a full scan on every query.
+package testutil
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/index"
+	"repro/internal/query"
+)
+
+// SmallTaxi builds a compact correlated dataset shaped like the Taxi data
+// (time, tightly-correlated pair, skewed distance, low-cardinality
+// passenger count) without importing the datasets package, keeping
+// baseline-package tests dependency-light.
+func SmallTaxi(n int, seed int64) *colstore.Store {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([][]int64, 5)
+	for j := range cols {
+		cols[j] = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		t := rng.Int63n(1_000_000)
+		dist := int64(rng.ExpFloat64()*300) + 10
+		cols[0][i] = t
+		cols[1][i] = t + 5 + rng.Int63n(120) // tight monotone with time
+		cols[2][i] = dist
+		cols[3][i] = 250 + dist*5/2 + rng.Int63n(200) // tight monotone with dist
+		cols[4][i] = 1 + rng.Int63n(6)                // low cardinality
+	}
+	st, err := colstore.FromColumns(cols, []string{"t", "t2", "dist", "fare", "pax"})
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// RandomQueries draws n random conjunctive range/equality queries over the
+// store, mixing COUNT and SUM.
+func RandomQueries(st *colstore.Store, n int, seed int64) []query.Query {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]query.Query, n)
+	for i := range out {
+		var fs []query.Filter
+		for j := 0; j < st.NumDims(); j++ {
+			r := rng.Float64()
+			if r < 0.45 {
+				continue
+			}
+			lo, hi := st.MinMax(j)
+			if r < 0.55 {
+				// Equality on a sampled value.
+				v := st.Value(rng.Intn(st.NumRows()), j)
+				fs = append(fs, query.Filter{Dim: j, Lo: v, Hi: v})
+				continue
+			}
+			span := hi - lo
+			a := lo + rng.Int63n(span+1)
+			w := span / int64(2+rng.Intn(30))
+			fs = append(fs, query.Filter{Dim: j, Lo: a, Hi: a + w})
+		}
+		if len(fs) == 0 {
+			lo, hi := st.MinMax(0)
+			fs = append(fs, query.Filter{Dim: 0, Lo: lo, Hi: (lo + hi) / 2})
+		}
+		if rng.Intn(3) == 0 {
+			out[i] = query.NewSum(rng.Intn(st.NumDims()), fs...)
+		} else {
+			out[i] = query.NewCount(fs...)
+		}
+	}
+	return out
+}
+
+// SkewedQueries draws a workload with two distinct query types, one
+// concentrated in the top of dim 0 (recency skew) and one uniform over dim
+// 1 — the Fig 2 scenario.
+func SkewedQueries(st *colstore.Store, n int, seed int64) []query.Query {
+	rng := rand.New(rand.NewSource(seed))
+	lo0, hi0 := st.MinMax(0)
+	lo1, hi1 := st.MinMax(1)
+	out := make([]query.Query, n)
+	for i := range out {
+		if i%2 == 0 {
+			// Narrow queries over the most recent 10% of dim 0.
+			base := hi0 - (hi0-lo0)/10
+			a := base + rng.Int63n((hi0-base)+1)
+			w := (hi0 - lo0) / 200
+			q := query.NewCount(query.Filter{Dim: 0, Lo: a, Hi: a + w})
+			q.Type = 0
+			out[i] = q
+		} else {
+			a := lo1 + rng.Int63n(hi1-lo1+1)
+			w := (hi1 - lo1) / 10
+			q := query.NewCount(query.Filter{Dim: 1, Lo: a, Hi: a + w})
+			q.Type = 1
+			out[i] = q
+		}
+	}
+	return out
+}
+
+// CheckMatchesFullScan fails the test unless idx agrees with a full scan of
+// truth on every query.
+func CheckMatchesFullScan(t *testing.T, idx index.Index, truth *colstore.Store, qs []query.Query) {
+	t.Helper()
+	full := index.NewFullScan(truth)
+	for i, q := range qs {
+		want := full.Execute(q)
+		got := idx.Execute(q)
+		if got.Count != want.Count || got.Sum != want.Sum {
+			t.Fatalf("%s query %d (%s): got (count=%d sum=%d), want (count=%d sum=%d)",
+				idx.Name(), i, q, got.Count, got.Sum, want.Count, want.Sum)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/colstore"
+	"repro/internal/datasets"
+	"repro/internal/query"
+)
+
+// The workload constructors below mirror §6.2: each dataset gets the
+// paper's number of query types, answering the kinds of analytics questions
+// it describes, with the reported skews (recency bias over time, very-low /
+// very-high value bias) and per-query selectivities in the reported ranges.
+
+// TPCHTypes returns the 5 TPC-H query types. As in the paper's example
+// questions ("How many high-priced orders in the past year used a
+// significant discount?"), query skew concentrates on the date dimensions
+// — most types hit recent data — while value-dimension filters are spread
+// uniformly.
+func TPCHTypes() []TypeSpec {
+	return []TypeSpec{
+		{Name: "recent-high-price-discounted", Dims: []DimSpec{
+			{Dim: datasets.TPCHShipDate, Sel: 0.1, Jitter: 0.2, Skew: Recent},
+			{Dim: datasets.TPCHExtendedPrice, Sel: 0.15, Jitter: 0.2, Skew: Uniform},
+			{Dim: datasets.TPCHDiscount, Sel: 0.3, Jitter: 0.2, Skew: Uniform},
+		}},
+		{Name: "air-shipments-low-quantity", Dims: []DimSpec{
+			{Dim: datasets.TPCHShipMode, Equality: true, Skew: Uniform},
+			{Dim: datasets.TPCHQuantity, Sel: 0.15, Jitter: 0.2, Skew: Low},
+			{Dim: datasets.TPCHShipDate, Sel: 0.2, Jitter: 0.2, Skew: Recent},
+		}},
+		{Name: "commit-vs-receipt-window", Dims: []DimSpec{
+			{Dim: datasets.TPCHCommitDate, Sel: 0.08, Jitter: 0.2, Skew: Recent},
+			{Dim: datasets.TPCHReceiptDate, Sel: 0.08, Jitter: 0.2, Skew: Recent},
+		}},
+		{Name: "tax-audit-recent", Dims: []DimSpec{
+			{Dim: datasets.TPCHTax, Sel: 0.3, Jitter: 0.2, Skew: Uniform},
+			{Dim: datasets.TPCHReceiptDate, Sel: 0.1, Jitter: 0.2, Skew: Recent},
+			{Dim: datasets.TPCHQuantity, Sel: 0.2, Jitter: 0.2, Skew: Uniform},
+		}},
+		{Name: "historical-price-band", Dims: []DimSpec{
+			{Dim: datasets.TPCHShipDate, Sel: 0.3, Jitter: 0.2, Skew: Uniform},
+			{Dim: datasets.TPCHExtendedPrice, Sel: 0.08, Jitter: 0.2, Skew: Uniform},
+		}},
+	}
+}
+
+// TPCHShiftedTypes returns the 5 replacement query types of the Fig 9a
+// workload-shift experiment — different dimensions, selectivities and
+// skews.
+func TPCHShiftedTypes() []TypeSpec {
+	return []TypeSpec{
+		{Name: "shift-quantity-heavy", Dims: []DimSpec{
+			{Dim: datasets.TPCHQuantity, Sel: 0.05, Jitter: 0.2, Skew: Recent},
+			{Dim: datasets.TPCHTax, Sel: 0.35, Jitter: 0.2, Skew: Uniform},
+		}},
+		{Name: "shift-old-shipments", Dims: []DimSpec{
+			{Dim: datasets.TPCHShipDate, Sel: 0.06, Jitter: 0.2, Skew: Low},
+			{Dim: datasets.TPCHShipMode, Equality: true, Skew: Uniform},
+		}},
+		{Name: "shift-price-band", Dims: []DimSpec{
+			{Dim: datasets.TPCHExtendedPrice, Sel: 0.04, Jitter: 0.2, Skew: Extremes},
+			{Dim: datasets.TPCHDiscount, Sel: 0.4, Jitter: 0.2, Skew: Low},
+		}},
+		{Name: "shift-commit-recent", Dims: []DimSpec{
+			{Dim: datasets.TPCHCommitDate, Sel: 0.05, Jitter: 0.2, Skew: Recent},
+			{Dim: datasets.TPCHQuantity, Sel: 0.25, Jitter: 0.2, Skew: Recent},
+		}},
+		{Name: "shift-receipt-tax", Dims: []DimSpec{
+			{Dim: datasets.TPCHReceiptDate, Sel: 0.07, Jitter: 0.2, Skew: Low},
+			{Dim: datasets.TPCHTax, Sel: 0.25, Jitter: 0.2, Skew: Extremes},
+		}},
+	}
+}
+
+// TaxiTypes returns the 6 Taxi query types (§6.2: skew over time, passenger
+// count, and trip distance; selectivity 0.25%–3.9%).
+func TaxiTypes() []TypeSpec {
+	return []TypeSpec{
+		{Name: "single-pax-manhattan", Dims: []DimSpec{
+			{Dim: datasets.TaxiPassengers, Equality: true, Skew: Low},
+			{Dim: datasets.TaxiPickupZone, Sel: 0.12, Jitter: 0.2, Skew: Uniform},
+			{Dim: datasets.TaxiDropoffZone, Sel: 0.12, Jitter: 0.2, Skew: Uniform},
+		}},
+		{Name: "recent-short-trips", Dims: []DimSpec{
+			{Dim: datasets.TaxiPickupTime, Sel: 0.1, Jitter: 0.2, Skew: Recent},
+			{Dim: datasets.TaxiDistance, Sel: 0.15, Jitter: 0.2, Skew: Low},
+		}},
+		{Name: "recent-fare-band", Dims: []DimSpec{
+			{Dim: datasets.TaxiPickupTime, Sel: 0.08, Jitter: 0.2, Skew: Recent},
+			{Dim: datasets.TaxiFare, Sel: 0.2, Jitter: 0.2, Skew: Uniform},
+		}},
+		{Name: "high-pax-trips", Dims: []DimSpec{
+			{Dim: datasets.TaxiPassengers, Sel: 0.08, Jitter: 0.1, Skew: Recent},
+			{Dim: datasets.TaxiDistance, Sel: 0.2, Jitter: 0.2, Skew: Low},
+		}},
+		{Name: "tip-analysis", Dims: []DimSpec{
+			{Dim: datasets.TaxiTip, Sel: 0.1, Jitter: 0.2, Skew: Uniform},
+			{Dim: datasets.TaxiTotal, Sel: 0.15, Jitter: 0.2, Skew: Uniform},
+			{Dim: datasets.TaxiPickupTime, Sel: 0.25, Jitter: 0.2, Skew: Recent},
+		}},
+		{Name: "dropoff-window", Dims: []DimSpec{
+			{Dim: datasets.TaxiDropoffTime, Sel: 0.05, Jitter: 0.2, Skew: Recent},
+			{Dim: datasets.TaxiPickupZone, Sel: 0.2, Jitter: 0.2, Skew: Uniform},
+		}},
+	}
+}
+
+// PerfmonTypes returns the 5 Perfmon query types (§6.2: skew over time —
+// recent data — and CPU usage — high usage; selectivity 0.5%–4.9%).
+func PerfmonTypes() []TypeSpec {
+	return []TypeSpec{
+		{Name: "recent-high-load", Dims: []DimSpec{
+			{Dim: datasets.PerfTime, Sel: 0.09, Jitter: 0.2, Skew: Recent},
+			{Dim: datasets.PerfLoad1, Sel: 0.1, Jitter: 0.2, Skew: Recent},
+		}},
+		{Name: "machine-set-high-cpu", Dims: []DimSpec{
+			{Dim: datasets.PerfMachine, Sel: 0.1, Jitter: 0.2, Skew: Uniform},
+			{Dim: datasets.PerfCPUUser, Sel: 0.08, Jitter: 0.2, Skew: Recent},
+		}},
+		{Name: "recent-sys-cpu", Dims: []DimSpec{
+			{Dim: datasets.PerfTime, Sel: 0.12, Jitter: 0.2, Skew: Recent},
+			{Dim: datasets.PerfCPUSys, Sel: 0.07, Jitter: 0.2, Skew: Recent},
+		}},
+		{Name: "load-average-pair", Dims: []DimSpec{
+			{Dim: datasets.PerfLoad1, Sel: 0.1, Jitter: 0.2, Skew: Recent},
+			{Dim: datasets.PerfLoad5, Sel: 0.1, Jitter: 0.2, Skew: Recent},
+		}},
+		{Name: "memory-pressure", Dims: []DimSpec{
+			{Dim: datasets.PerfMem, Sel: 0.06, Jitter: 0.2, Skew: Uniform},
+			{Dim: datasets.PerfTime, Sel: 0.2, Jitter: 0.2, Skew: Recent},
+		}},
+	}
+}
+
+// StocksTypes returns the 5 Stocks query types (§6.2: skew over time and
+// volume; selectivity tightly around 0.5%).
+func StocksTypes() []TypeSpec {
+	return []TypeSpec{
+		{Name: "low-intraday-change-high-volume", Dims: []DimSpec{
+			{Dim: datasets.StockLow, Sel: 0.1, Jitter: 0.1, Skew: Uniform},
+			{Dim: datasets.StockHigh, Sel: 0.1, Jitter: 0.1, Skew: Uniform},
+			{Dim: datasets.StockVolume, Sel: 0.15, Jitter: 0.1, Skew: Recent},
+		}},
+		{Name: "recent-close-band", Dims: []DimSpec{
+			{Dim: datasets.StockDate, Sel: 0.08, Jitter: 0.1, Skew: Recent},
+			{Dim: datasets.StockClose, Sel: 0.08, Jitter: 0.1, Skew: Uniform},
+		}},
+		{Name: "volume-extremes", Dims: []DimSpec{
+			{Dim: datasets.StockVolume, Sel: 0.04, Jitter: 0.1, Skew: Extremes},
+			{Dim: datasets.StockDate, Sel: 0.15, Jitter: 0.1, Skew: Recent},
+		}},
+		{Name: "open-close-pair", Dims: []DimSpec{
+			{Dim: datasets.StockOpen, Sel: 0.07, Jitter: 0.1, Skew: Uniform},
+			{Dim: datasets.StockClose, Sel: 0.07, Jitter: 0.1, Skew: Uniform},
+		}},
+		{Name: "adjusted-close-recent", Dims: []DimSpec{
+			{Dim: datasets.StockAdjClose, Sel: 0.06, Jitter: 0.1, Skew: Uniform},
+			{Dim: datasets.StockDate, Sel: 0.1, Jitter: 0.1, Skew: Recent},
+		}},
+	}
+}
+
+// SyntheticTypes returns the Fig 10 synthetic workload: four query types;
+// earlier dimensions are filtered with exponentially higher selectivity
+// than later dimensions, and queries are skewed over the first four dims.
+func SyntheticTypes(d int) []TypeSpec {
+	sel := func(j int) float64 {
+		s := 0.02 * float64(int(1)<<uint(j))
+		if s > 0.6 {
+			s = 0.6
+		}
+		return s
+	}
+	skew := func(j int) Skew {
+		if j < 4 {
+			return Recent
+		}
+		return Uniform
+	}
+	// Four templates over different dimension subsets; dims beyond d are
+	// dropped, so the same shapes work for every d in the Fig 10 sweep.
+	shapes := [][]int{
+		{0, 1, 2},
+		{0, 2, 4},
+		{1, 3, 5},
+		{0, 3, d - 1},
+	}
+	var types []TypeSpec
+	for _, shape := range shapes {
+		var dims []DimSpec
+		seen := map[int]bool{}
+		for _, j := range shape {
+			if j < 0 || j >= d || seen[j] {
+				continue
+			}
+			seen[j] = true
+			dims = append(dims, DimSpec{Dim: j, Sel: sel(j), Jitter: 0.2, Skew: skew(j)})
+		}
+		if len(dims) == 0 {
+			dims = append(dims, DimSpec{Dim: 0, Sel: sel(0), Jitter: 0.2, Skew: Recent})
+		}
+		types = append(types, TypeSpec{Name: "synthetic", Dims: dims})
+	}
+	return types
+}
+
+// SelectivityTypes returns a single query type over the first k dimensions
+// whose combined selectivity is approximately target (Fig 11b sweeps it
+// from 0.00001 to 0.1): each per-dimension filter has selectivity
+// target^(1/k).
+func SelectivityTypes(k int, target float64) []TypeSpec {
+	per := math.Pow(target, 1.0/float64(k))
+	dims := make([]DimSpec, k)
+	for j := range dims {
+		dims[j] = DimSpec{Dim: j, Sel: per, Jitter: 0.1, Skew: Uniform}
+	}
+	return []TypeSpec{{Name: "selectivity-sweep", Dims: dims}}
+}
+
+// ForDataset returns the paper's workload for a generated dataset by name.
+func ForDataset(d *datasets.Dataset, perType int, seed int64) []query.Query {
+	g := NewGenerator(d.Store, seed)
+	var types []TypeSpec
+	switch d.Name {
+	case "TPC-H":
+		types = TPCHTypes()
+	case "Taxi":
+		types = TaxiTypes()
+	case "Perfmon":
+		types = PerfmonTypes()
+	case "Stocks":
+		types = StocksTypes()
+	default:
+		types = SyntheticTypes(d.Dims())
+	}
+	return g.Generate(types, perType)
+}
+
+// Generate is a convenience wrapper: build a generator and synthesize.
+func Generate(st *colstore.Store, types []TypeSpec, perType int, seed int64) []query.Query {
+	return NewGenerator(st, seed).Generate(types, perType)
+}

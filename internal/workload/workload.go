@@ -1,0 +1,191 @@
+// Package workload synthesizes the query workloads of §6.2: each dataset's
+// workload consists of a handful of query types — templates that fix which
+// dimensions are filtered, how selective each filter is, and where in the
+// data space queries concentrate — with a configurable number of queries
+// per type (the paper uses 100). Skew (recency bias, very-low / very-high
+// value bias) is expressed per dimension.
+//
+// Filter endpoints are drawn in quantile space over a per-dimension sorted
+// sample, so a requested selectivity of 1% yields a filter matching ≈1% of
+// rows in that dimension regardless of the value distribution.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/colstore"
+	"repro/internal/query"
+)
+
+// Skew describes where a filter's position is drawn in quantile space.
+type Skew int
+
+const (
+	// Uniform places filters uniformly over the dimension.
+	Uniform Skew = iota
+	// Recent concentrates filters near the top of the domain (e.g. recent
+	// timestamps, high CPU usage).
+	Recent
+	// Low concentrates filters near the bottom of the domain (e.g. short
+	// trip distances).
+	Low
+	// Extremes places filters near the bottom or the top, alternating
+	// (e.g. very low and very high passenger counts).
+	Extremes
+)
+
+// DimSpec is one filtered dimension of a query template.
+type DimSpec struct {
+	Dim int
+	// Sel is the target per-dimension selectivity (fraction of rows the
+	// filter matches in this dimension alone). Ignored for Equality specs.
+	Sel float64
+	// Jitter multiplies Sel by a uniform factor in [1-Jitter, 1+Jitter].
+	Jitter float64
+	// Skew biases the filter's position.
+	Skew Skew
+	// Equality pins the dimension to a single sampled value instead of a
+	// range.
+	Equality bool
+}
+
+// TypeSpec is a query template: all queries of the type filter the same
+// dimensions with similar selectivities (§4.3.1).
+type TypeSpec struct {
+	Name string
+	Dims []DimSpec
+}
+
+// Generator draws queries over a store.
+type Generator struct {
+	st     *colstore.Store
+	rng    *rand.Rand
+	sorted [][]int64 // per-dim sorted sample for quantile lookups
+}
+
+// NewGenerator samples the store (up to 20k rows per dim) for quantile
+// lookups.
+func NewGenerator(st *colstore.Store, seed int64) *Generator {
+	g := &Generator{st: st, rng: rand.New(rand.NewSource(seed))}
+	g.sorted = make([][]int64, st.NumDims())
+	n := st.NumRows()
+	keep := n
+	if keep > 20000 {
+		keep = 20000
+	}
+	stride := 1
+	if n > keep && keep > 0 {
+		stride = n / keep
+	}
+	for j := 0; j < st.NumDims(); j++ {
+		col := st.Column(j)
+		s := make([]int64, 0, keep)
+		for i := 0; i < n; i += stride {
+			s = append(s, col[i])
+		}
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		g.sorted[j] = s
+	}
+	return g
+}
+
+// quantile returns the value at quantile u of dimension j.
+func (g *Generator) quantile(j int, u float64) int64 {
+	s := g.sorted[j]
+	if len(s) == 0 {
+		return 0
+	}
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	idx := int(u * float64(len(s)-1))
+	return s[idx]
+}
+
+// position draws the filter's starting quantile for width w under skew sk.
+// flip alternates Extremes between the two ends.
+func (g *Generator) position(sk Skew, w float64, flip bool) float64 {
+	room := 1 - w
+	if room <= 0 {
+		return 0
+	}
+	switch sk {
+	case Recent:
+		off := absf(g.rng.NormFloat64() * 0.06)
+		if off > room {
+			off = room
+		}
+		return room - off
+	case Low:
+		off := absf(g.rng.NormFloat64() * 0.06)
+		if off > room {
+			off = room
+		}
+		return off
+	case Extremes:
+		off := absf(g.rng.NormFloat64() * 0.04)
+		if off > room {
+			off = room
+		}
+		if flip {
+			return room - off
+		}
+		return 0
+	default:
+		return g.rng.Float64() * room
+	}
+}
+
+// Generate synthesizes perType queries per template. Every query is a
+// COUNT(*) (the paper's aggregation; all indexes pay the same fixed
+// aggregation cost). Query Type ids are assigned from the template order.
+func (g *Generator) Generate(types []TypeSpec, perType int) []query.Query {
+	var out []query.Query
+	for ti, t := range types {
+		for k := 0; k < perType; k++ {
+			var fs []query.Filter
+			for _, ds := range t.Dims {
+				fs = append(fs, g.filter(ds, k%2 == 1))
+			}
+			q := query.NewCount(fs...)
+			q.Type = ti
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func (g *Generator) filter(ds DimSpec, flip bool) query.Filter {
+	if ds.Equality {
+		v := g.quantile(ds.Dim, g.position(ds.Skew, 0, flip))
+		return query.Filter{Dim: ds.Dim, Lo: v, Hi: v}
+	}
+	sel := ds.Sel
+	if ds.Jitter > 0 {
+		sel *= 1 + (g.rng.Float64()*2-1)*ds.Jitter
+	}
+	if sel <= 0 {
+		sel = 1e-5
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	u := g.position(ds.Skew, sel, flip)
+	lo := g.quantile(ds.Dim, u)
+	hi := g.quantile(ds.Dim, u+sel)
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return query.Filter{Dim: ds.Dim, Lo: lo, Hi: hi}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

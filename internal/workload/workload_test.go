@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/index"
+)
+
+func TestGenerateCountsAndTypes(t *testing.T) {
+	ds := datasets.TPCH(5000, 1)
+	qs := Generate(ds.Store, TPCHTypes(), 20, 2)
+	if len(qs) != 5*20 {
+		t.Fatalf("queries = %d, want 100", len(qs))
+	}
+	types := map[int]int{}
+	for _, q := range qs {
+		types[q.Type]++
+	}
+	if len(types) != 5 {
+		t.Fatalf("types = %d, want 5", len(types))
+	}
+	for ty, n := range types {
+		if n != 20 {
+			t.Errorf("type %d has %d queries, want 20", ty, n)
+		}
+	}
+}
+
+func TestSelectivityRoughlyHonored(t *testing.T) {
+	ds := datasets.TPCH(50000, 3)
+	types := []TypeSpec{{Name: "probe", Dims: []DimSpec{
+		{Dim: datasets.TPCHShipDate, Sel: 0.10, Skew: Uniform},
+	}}}
+	qs := Generate(ds.Store, types, 50, 4)
+	sum := 0.0
+	for _, q := range qs {
+		sum += index.Selectivity(ds.Store, q)
+	}
+	avg := sum / float64(len(qs))
+	if avg < 0.05 || avg > 0.2 {
+		t.Errorf("avg selectivity = %.3f, want ≈0.10", avg)
+	}
+}
+
+func TestRecentSkewConcentratesHigh(t *testing.T) {
+	ds := datasets.TPCH(50000, 5)
+	types := []TypeSpec{{Name: "recent", Dims: []DimSpec{
+		{Dim: datasets.TPCHShipDate, Sel: 0.05, Skew: Recent},
+	}}}
+	qs := Generate(ds.Store, types, 100, 6)
+	lo, hi := ds.Store.MinMax(datasets.TPCHShipDate)
+	cut := hi - (hi-lo)/4 // top quarter
+	inTop := 0
+	for _, q := range qs {
+		f, ok := q.Filter(datasets.TPCHShipDate)
+		if !ok {
+			t.Fatal("missing filter")
+		}
+		if f.Lo >= cut {
+			inTop++
+		}
+	}
+	if inTop < 80 {
+		t.Errorf("only %d/100 recent-skew filters in the top quarter", inTop)
+	}
+}
+
+func TestLowSkewConcentratesLow(t *testing.T) {
+	ds := datasets.Taxi(50000, 7)
+	types := []TypeSpec{{Name: "short", Dims: []DimSpec{
+		{Dim: datasets.TaxiDistance, Sel: 0.05, Skew: Low},
+	}}}
+	qs := Generate(ds.Store, types, 100, 8)
+	lo, hi := ds.Store.MinMax(datasets.TaxiDistance)
+	cut := lo + (hi-lo)/4
+	inBottom := 0
+	for _, q := range qs {
+		f, _ := q.Filter(datasets.TaxiDistance)
+		if f.Hi <= cut {
+			inBottom++
+		}
+	}
+	// Distance is heavy-tailed, so quantile-space low filters sit far
+	// below the midpoint in value space.
+	if inBottom < 80 {
+		t.Errorf("only %d/100 low-skew filters in the bottom quarter", inBottom)
+	}
+}
+
+func TestExtremesSkewHitsBothEnds(t *testing.T) {
+	ds := datasets.Stocks(50000, 9)
+	types := []TypeSpec{{Name: "vol", Dims: []DimSpec{
+		{Dim: datasets.StockVolume, Sel: 0.04, Skew: Extremes},
+	}}}
+	qs := Generate(ds.Store, types, 100, 10)
+	gen := NewGenerator(ds.Store, 11)
+	mid := gen.quantile(datasets.StockVolume, 0.5)
+	low, high := 0, 0
+	for _, q := range qs {
+		f, _ := q.Filter(datasets.StockVolume)
+		if f.Hi < mid {
+			low++
+		}
+		if f.Lo > mid {
+			high++
+		}
+	}
+	if low < 30 || high < 30 {
+		t.Errorf("extremes split low=%d high=%d, want both >= 30", low, high)
+	}
+}
+
+func TestEqualityFilters(t *testing.T) {
+	ds := datasets.Taxi(20000, 11)
+	types := []TypeSpec{{Name: "pax", Dims: []DimSpec{
+		{Dim: datasets.TaxiPassengers, Equality: true, Skew: Low},
+	}}}
+	qs := Generate(ds.Store, types, 50, 12)
+	for _, q := range qs {
+		f, _ := q.Filter(datasets.TaxiPassengers)
+		if !f.IsEquality() {
+			t.Fatalf("expected equality filter, got %+v", f)
+		}
+	}
+}
+
+func TestForDatasetDispatch(t *testing.T) {
+	for _, mk := range []func(int, int64) *datasets.Dataset{
+		datasets.TPCH, datasets.Taxi, datasets.Perfmon, datasets.Stocks,
+	} {
+		ds := mk(2000, 13)
+		qs := ForDataset(ds, 10, 14)
+		if len(qs) == 0 {
+			t.Fatalf("%s workload empty", ds.Name)
+		}
+		for _, q := range qs {
+			if len(q.Filters) == 0 {
+				t.Fatalf("%s produced an unfiltered query", ds.Name)
+			}
+			for _, f := range q.Filters {
+				if f.Dim < 0 || f.Dim >= ds.Dims() {
+					t.Fatalf("%s filter dim %d out of range", ds.Name, f.Dim)
+				}
+			}
+		}
+	}
+}
+
+func TestSyntheticTypesForAllDims(t *testing.T) {
+	for _, d := range []int{4, 8, 12, 16, 20} {
+		types := SyntheticTypes(d)
+		if len(types) != 4 {
+			t.Fatalf("d=%d: types = %d, want 4", d, len(types))
+		}
+		for _, ty := range types {
+			if len(ty.Dims) == 0 {
+				t.Fatalf("d=%d: empty type", d)
+			}
+			for _, ds := range ty.Dims {
+				if ds.Dim < 0 || ds.Dim >= d {
+					t.Fatalf("d=%d: dim %d out of range", d, ds.Dim)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectivityTypesCombined(t *testing.T) {
+	ds := datasets.SyntheticCorrelated(50000, 8, 15)
+	target := 0.01
+	qs := Generate(ds.Store, SelectivityTypes(4, target), 30, 16)
+	sum := 0.0
+	for _, q := range qs {
+		sum += index.Selectivity(ds.Store, q)
+	}
+	avg := sum / float64(len(qs))
+	// Correlated dims make per-dim independence only approximate; accept a
+	// generous band around the target.
+	if avg < target/20 || avg > target*20 {
+		t.Errorf("avg combined selectivity = %.5f, want within 20x of %.5f", avg, target)
+	}
+}
