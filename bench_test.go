@@ -8,8 +8,10 @@
 package tsunami_test
 
 import (
+	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"testing"
 
 	tsunami "repro"
@@ -70,6 +72,37 @@ func BenchmarkFig12bOptimizers(b *testing.B) { runExperiment(b, "fig12b") }
 // BenchmarkAblations measures the design-choice ablations DESIGN.md calls
 // out (sort-dim refinement, FMs, CCDFs, merge epsilon, outlier buffers).
 func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablation") }
+
+// BenchmarkConcurrentThroughput regenerates the concurrency experiment:
+// Executor batch throughput at 1, 4, and NumCPU workers against one shared
+// Tsunami index (reported alongside the Fig 7 harness; see also the
+// workers=N sub-benchmarks below for queries/sec at each pool size).
+func BenchmarkConcurrentThroughput(b *testing.B) { runExperiment(b, "concurrency") }
+
+// BenchmarkExecutorWorkers reports queries/sec of the Fig 7-style query mix
+// through the Executor worker pool at 1, 4, and NumCPU workers.
+func BenchmarkExecutorWorkers(b *testing.B) {
+	ds, work := microSetup(b)
+	idx := tsunami.New(ds.Store, work, tsunami.Options{OptimizerIters: 2, MaxOptQueries: 32})
+	counts := []int{1, 4, runtime.NumCPU()}
+	if runtime.NumCPU() == 1 || runtime.NumCPU() == 4 {
+		counts = counts[:2] // avoid duplicate sub-benchmark names
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ex := tsunami.NewExecutor(idx, tsunami.ExecutorOptions{Workers: workers})
+			defer ex.Close()
+			ex.ExecuteBatch(work) // warm-up
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ex.ExecuteBatch(work)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*len(work))/b.Elapsed().Seconds(), "queries/sec")
+		})
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Micro-benchmarks on the public API: per-query latency of each index on a

@@ -1,0 +1,160 @@
+// Concurrency contract tests: one shared index per test, no clones, many
+// goroutines. Run with -race these prove the entire read path — Tsunami and
+// every baseline — keeps no shared mutable per-query state, and that the
+// Executor's batch and intra-query paths match sequential execution.
+package tsunami_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	tsunami "repro"
+)
+
+// concurrencySetup builds a dataset, a workload, and the FullScan ground
+// truth for the probe queries.
+func concurrencySetup(t *testing.T, rows int, seed int64) (*tsunami.Dataset, []tsunami.Query, []tsunami.Query, []uint64) {
+	t.Helper()
+	ds := tsunami.GenerateTaxi(rows, seed)
+	work := tsunami.WorkloadFor(ds, 20, seed+1)
+	probe := tsunami.WorkloadFor(ds, 8, seed+2)
+	full := tsunami.NewFullScan(ds.Store)
+	want := make([]uint64, len(probe))
+	for i, q := range probe {
+		want[i] = full.Execute(q).Count
+	}
+	return ds, work, probe, want
+}
+
+// hammer issues the probe queries from `readers` goroutines against one
+// shared index and checks every answer.
+func hammer(t *testing.T, idx tsunami.Index, probe []tsunami.Query, want []uint64) {
+	t.Helper()
+	const readers = 8
+	const passes = 4
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pass := 0; pass < passes; pass++ {
+				for i, q := range probe {
+					if got := idx.Execute(q).Count; got != want[i] {
+						errs <- q.String()
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for q := range errs {
+		t.Errorf("%s: concurrent reader got a wrong answer on %s", idx.Name(), q)
+	}
+}
+
+// TestConcurrentExecuteSharedIndexes covers every index in the repository:
+// a single shared instance each, queried by 8 goroutines with no cloning.
+func TestConcurrentExecuteSharedIndexes(t *testing.T) {
+	ds, work, probe, want := concurrencySetup(t, 12_000, 11)
+	o := smallOptions()
+
+	indexes := []tsunami.Index{
+		tsunami.New(ds.Store, work, o),
+		tsunami.NewAugGridOnly(ds.Store, work, o),
+		tsunami.NewGridTreeOnly(ds.Store, work, o),
+		tsunami.NewFlood(ds.Store, work, o),
+		tsunami.NewKDTree(ds.Store, work, 2048),
+		tsunami.NewHyperoctree(ds.Store, 2048),
+		tsunami.NewZOrder(ds.Store, 2048),
+		tsunami.NewSingleDim(ds.Store, work, -1),
+		tsunami.NewFullScan(ds.Store),
+	}
+	for _, idx := range indexes {
+		idx := idx
+		t.Run(idx.Name(), func(t *testing.T) {
+			t.Parallel()
+			hammer(t, idx, probe, want)
+		})
+	}
+}
+
+// TestExecuteBatchMatchesSequential is the Executor correctness test:
+// batch results must be positionally identical to sequential Execute and
+// to the FullScan ground truth, at several worker counts.
+func TestExecuteBatchMatchesSequential(t *testing.T) {
+	ds, work, probe, want := concurrencySetup(t, 10_000, 21)
+	idx := tsunami.New(ds.Store, work, smallOptions())
+
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		ex := tsunami.NewExecutor(idx, tsunami.ExecutorOptions{Workers: workers})
+		got := ex.ExecuteBatch(probe)
+		if len(got) != len(probe) {
+			t.Fatalf("workers=%d: got %d results for %d queries", workers, len(got), len(probe))
+		}
+		for i, q := range probe {
+			if seq := idx.Execute(q); got[i] != seq {
+				t.Errorf("workers=%d query %s: batch %+v != sequential %+v", workers, q, got[i], seq)
+			}
+			if got[i].Count != want[i] {
+				t.Errorf("workers=%d query %s: batch count %d != full scan %d", workers, q, got[i].Count, want[i])
+			}
+		}
+		ex.Close()
+		ex.Close() // Close is idempotent
+	}
+}
+
+// TestExecutorBatchFromManyGoroutines checks the pool fair-shares between
+// concurrent ExecuteBatch callers (a serving frontend's shape).
+func TestExecutorBatchFromManyGoroutines(t *testing.T) {
+	ds, work, probe, want := concurrencySetup(t, 8_000, 31)
+	idx := tsunami.New(ds.Store, work, smallOptions())
+	ex := tsunami.NewExecutor(idx, tsunami.ExecutorOptions{Workers: 4})
+	defer ex.Close()
+
+	const callers = 6
+	var wg sync.WaitGroup
+	errs := make(chan string, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := ex.ExecuteBatch(probe)
+			for i := range probe {
+				if res[i].Count != want[i] {
+					errs <- probe[i].String()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for q := range errs {
+		t.Errorf("concurrent batch caller got a wrong answer on %s", q)
+	}
+}
+
+// TestExecutorIntraQuery checks the intra-query path: splitting one query's
+// regions across workers must produce the sequential answer, including on
+// baselines that don't support splitting (where it falls back).
+func TestExecutorIntraQuery(t *testing.T) {
+	ds, work, probe, want := concurrencySetup(t, 10_000, 41)
+
+	for _, idx := range []tsunami.Index{
+		tsunami.New(ds.Store, work, smallOptions()),
+		tsunami.NewKDTree(ds.Store, work, 2048), // no intra-query support: fallback path
+	} {
+		ex := tsunami.NewExecutor(idx, tsunami.ExecutorOptions{Workers: 4, IntraQuery: true})
+		for i, q := range probe {
+			if got := ex.Execute(q).Count; got != want[i] {
+				t.Errorf("%s intra-query on %s: got %d, want %d", idx.Name(), q, got, want[i])
+			}
+		}
+		ex.Close()
+	}
+}

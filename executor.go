@@ -1,0 +1,125 @@
+package tsunami
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/colstore"
+	"repro/internal/query"
+)
+
+// intraQueryIndex is implemented by indexes that can split one query's work
+// across multiple scheduled tasks and merge the partial results.
+// TsunamiIndex implements it by spreading the query's Grid Tree regions
+// over the submitted tasks, which the Executor runs on its worker pool.
+type intraQueryIndex interface {
+	ExecuteParallelOn(q query.Query, workers int, submit func(task func())) colstore.ScanResult
+}
+
+// ExecutorOptions configures an Executor. The zero value uses one worker
+// per CPU with intra-query parallelism off.
+type ExecutorOptions struct {
+	// Workers is the size of the worker pool (default runtime.NumCPU()).
+	Workers int
+	// IntraQuery additionally splits each single Execute call across the
+	// pool when the index supports it (TsunamiIndex does, by region).
+	// Batch execution always parallelizes across queries regardless.
+	IntraQuery bool
+}
+
+// Executor serves queries against one shared index from a fixed pool of
+// workers. It relies on the Index concurrency contract — built indexes are
+// immutable on the read path — so no cloning happens anywhere; every worker
+// executes against the same index value.
+//
+// An Executor is safe for concurrent use: ExecuteBatch may be called from
+// many goroutines at once and the pool fair-shares across them. Close
+// releases the workers; the Executor must not be used after Close. The
+// index must not be mutated (inserts, merges, re-optimization) while the
+// Executor is serving.
+type Executor struct {
+	idx     Index
+	intra   intraQueryIndex // non-nil only when IntraQuery is on and supported
+	workers int
+
+	// jobs carries closures so one pool serves both granularities: whole
+	// queries (ExecuteBatch) and a single query's region-draining tasks
+	// (intra-query Execute). Jobs never block on other jobs, so sharing
+	// the pool cannot deadlock.
+	jobs      chan func()
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewExecutor starts a worker pool over a shared index.
+func NewExecutor(idx Index, o ExecutorOptions) *Executor {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	e := &Executor{
+		idx:     idx,
+		workers: workers,
+		jobs:    make(chan func(), 2*workers),
+	}
+	if o.IntraQuery {
+		if p, ok := idx.(intraQueryIndex); ok {
+			e.intra = p
+		}
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	for job := range e.jobs {
+		job()
+	}
+}
+
+// submit schedules a task on the pool.
+func (e *Executor) submit(task func()) { e.jobs <- task }
+
+// Workers returns the pool size.
+func (e *Executor) Workers() int { return e.workers }
+
+// Execute answers one query. With IntraQuery enabled on a supporting index
+// the query's work is split into tasks run on the worker pool; otherwise
+// it runs on the calling goroutine (the pool is for batches).
+func (e *Executor) Execute(q Query) Result {
+	if e.intra != nil {
+		return e.intra.ExecuteParallelOn(q, e.workers, e.submit)
+	}
+	return e.idx.Execute(q)
+}
+
+// ExecuteBatch answers every query, fanning them across the worker pool,
+// and returns results positionally aligned with qs. Results are identical
+// to calling Execute sequentially on each query.
+func (e *Executor) ExecuteBatch(qs []Query) []Result {
+	out := make([]Result, len(qs))
+	var done sync.WaitGroup
+	done.Add(len(qs))
+	for i, q := range qs {
+		i, q := i, q
+		e.jobs <- func() {
+			out[i] = e.idx.Execute(q)
+			done.Done()
+		}
+	}
+	done.Wait()
+	return out
+}
+
+// Close shuts the pool down and waits for in-flight queries to finish.
+// Safe to call more than once.
+func (e *Executor) Close() {
+	e.closeOnce.Do(func() {
+		close(e.jobs)
+		e.wg.Wait()
+	})
+}

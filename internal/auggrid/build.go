@@ -16,6 +16,11 @@ import (
 //  1. Build computes all layout structures and returns the region's rows in
 //     grid order; the caller concatenates row orders, reorders the store.
 //  2. Finalize binds the grid to the reordered store at its start offset.
+//
+// After Finalize a Grid is immutable: all per-query state lives in the
+// ExecContext passed to Execute, so one Grid serves any number of
+// concurrent readers with no cloning (provided the underlying store is not
+// mutated while readers are active).
 type Grid struct {
 	layout Layout
 	store  *colstore.Store
@@ -30,14 +35,6 @@ type Grid struct {
 	gridDims []int
 	strides  []int // stride per grid dim (aligned with gridDims)
 	posOf    []int // dim -> position in gridDims, -1 if not a grid dim
-
-	// Per-query scratch, reused across Execute calls. A Grid is therefore
-	// not safe for concurrent queries; clone the index per goroutine (the
-	// paper's evaluation is single-threaded, §6.1).
-	runScratch   []run
-	rangeScratch []dimRange
-	idxScratch   []int
-	effScratch   [2][]int64
 
 	// Independent dims: partition boundaries, len P[d]+1.
 	bounds map[int][]int64
@@ -321,19 +318,6 @@ func (g *Grid) cellOfRow(st *colstore.Store, r int) int {
 		cell += idx * g.strides[k]
 	}
 	return cell
-}
-
-// ReaderClone returns a grid sharing all immutable structure (boundaries,
-// mappings, offsets, store) with g but owning its own per-query scratch,
-// so the clone can Execute concurrently with g. The underlying store must
-// not be mutated while readers are active.
-func (g *Grid) ReaderClone() *Grid {
-	clone := *g
-	clone.runScratch = nil
-	clone.rangeScratch = nil
-	clone.idxScratch = nil
-	clone.effScratch = [2][]int64{}
-	return &clone
 }
 
 // Layout returns the grid's layout.

@@ -39,6 +39,7 @@ type Evaluator struct {
 	queries []query.Query
 	weights CostWeights
 	scale   float64 // full rows per sample row
+	ctx     *ExecContext
 	// Evals counts cost-model evaluations, for optimizer comparisons.
 	Evals int
 }
@@ -106,7 +107,7 @@ func NewEvaluator(st *colstore.Store, rows []int, queries []query.Query, cfg Eva
 	if len(sampleRows) > 0 {
 		scale = float64(n) / float64(len(sampleRows))
 	}
-	return &Evaluator{sample: sample, queries: qs, weights: cfg.Weights, scale: scale}
+	return &Evaluator{sample: sample, queries: qs, weights: cfg.Weights, scale: scale, ctx: NewExecContext()}
 }
 
 // NumQueries returns the size of the replayed workload.
@@ -157,8 +158,11 @@ func (e *Evaluator) buildSampleGrid(l Layout) (*Grid, error) {
 	return g, nil
 }
 
+// queryCost replays one query through the real execution path. The
+// evaluator owns a private ExecContext, so an Evaluator is single-goroutine
+// (each concurrently optimized region builds its own).
 func (e *Evaluator) queryCost(g *Grid, q query.Query) float64 {
-	res, st := g.Execute(q)
+	res, st := g.Execute(q, e.ctx)
 	scanned := float64(res.PointsScanned) * e.scale
 	nf := float64(len(q.Filters))
 	if nf == 0 {

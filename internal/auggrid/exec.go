@@ -22,16 +22,22 @@ type run struct {
 	exact      bool
 }
 
-// Execute answers q against the grid's physical range. A Grid reuses
-// per-query scratch buffers, so Execute is not safe for concurrent callers.
-func (g *Grid) Execute(q query.Query) (colstore.ScanResult, ExecStats) {
+// Execute answers q against the grid's physical range. A built Grid is
+// immutable; all per-query state lives in ctx, so any number of goroutines
+// may Execute concurrently against the same Grid as long as each uses its
+// own ExecContext. A nil ctx borrows one from the package pool.
+func (g *Grid) Execute(q query.Query, ctx *ExecContext) (colstore.ScanResult, ExecStats) {
+	if ctx == nil {
+		ctx = GetExecContext()
+		defer PutExecContext(ctx)
+	}
 	var res colstore.ScanResult
 	var st ExecStats
 	if g.n == 0 {
 		return res, st
 	}
 
-	effLo, effHi, ok := g.effectiveFilters(q)
+	effLo, effHi, ok := g.effectiveFilters(q, ctx)
 	if !ok {
 		// The functional-mapping bounds prove no INLIER can match, but the
 		// bounds do not cover the outlier buffer — scan it regardless.
@@ -39,7 +45,7 @@ func (g *Grid) Execute(q query.Query) (colstore.ScanResult, ExecStats) {
 		return res, st
 	}
 
-	runs := g.enumerate(q, effLo, effHi)
+	runs := g.enumerate(q, effLo, effHi, ctx)
 	if len(runs) == 0 {
 		g.scanOutliers(q, &res, &st)
 		return res, st
@@ -108,13 +114,9 @@ func (g *Grid) scanOutliers(q query.Query, res *colstore.ScanResult, st *ExecSta
 // transformed into a filter over the target dimension and intersected with
 // any existing filter there. Returns ok=false when an intersection is
 // provably empty.
-func (g *Grid) effectiveFilters(q query.Query) ([]int64, []int64, bool) {
+func (g *Grid) effectiveFilters(q query.Query, ctx *ExecContext) ([]int64, []int64, bool) {
 	d := len(g.layout.Skeleton)
-	if g.effScratch[0] == nil {
-		g.effScratch[0] = make([]int64, d)
-		g.effScratch[1] = make([]int64, d)
-	}
-	lo, hi := g.effScratch[0], g.effScratch[1]
+	lo, hi := ctx.effBounds(d)
 	for j := 0; j < d; j++ {
 		lo[j], hi[j] = query.NoLo, query.NoHi
 	}
@@ -176,20 +178,15 @@ type dimRange struct {
 // recursion stops at the last constrained position e and emits runs of
 // strides[e] cells at a time. This keeps enumeration cost proportional to
 // the number of constrained combinations, not total intersecting cells.
-func (g *Grid) enumerate(q query.Query, effLo, effHi []int64) []run {
+func (g *Grid) enumerate(q query.Query, effLo, effHi []int64, ctx *ExecContext) []run {
 	nd := len(g.gridDims)
-	g.runScratch = g.runScratch[:0]
+	ctx.runs = ctx.runs[:0]
 	if nd == 0 {
 		// No grid dims at all: one run over the single cell.
-		return append(g.runScratch, run{start: 0, end: 0, exact: len(q.Filters) == 0})
+		return append(ctx.runs, run{start: 0, end: 0, exact: len(q.Filters) == 0})
 	}
 
-	if cap(g.rangeScratch) < nd {
-		g.rangeScratch = make([]dimRange, nd)
-		g.idxScratch = make([]int, nd)
-	}
-	ranges := g.rangeScratch[:nd]
-	idx := g.idxScratch[:nd]
+	ranges, idx := ctx.dimScratch(nd)
 
 	for k, j := range g.gridDims {
 		filtered := effLo[j] != query.NoLo || effHi[j] != query.NoHi
@@ -240,16 +237,16 @@ func (g *Grid) enumerate(q query.Query, effLo, effHi []int64) []run {
 	}
 	if e < 0 {
 		// Fully unconstrained over grid dims: one run over everything.
-		return append(g.runScratch, run{start: 0, end: len(g.offsets) - 2, exact: baseExact})
+		return append(ctx.runs, run{start: 0, end: len(g.offsets) - 2, exact: baseExact})
 	}
 
-	g.walk(ranges, idx, 0, e, 0, baseExact)
-	return g.runScratch
+	g.walk(ctx, ranges, idx, 0, e, 0, baseExact)
+	return ctx.runs
 }
 
 // walk recursively enumerates positions [k, e] of the grid; position e
 // emits runs covering its partition range times the unconstrained suffix.
-func (g *Grid) walk(ranges []dimRange, idx []int, k, e, cellBase int, exact bool) {
+func (g *Grid) walk(ctx *ExecContext, ranges []dimRange, idx []int, k, e, cellBase int, exact bool) {
 	r := &ranges[k]
 	a, b := r.a, r.b
 	exLo, exHi := r.exactLo, r.exactHi
@@ -259,7 +256,7 @@ func (g *Grid) walk(ranges []dimRange, idx []int, k, e, cellBase int, exact bool
 	}
 	stride := g.strides[k]
 	if k == e {
-		g.emitRuns(cellBase, stride, a, b, exact, exLo, exHi, r.filtered)
+		g.emitRuns(ctx, cellBase, stride, a, b, exact, exLo, exHi, r.filtered)
 		return
 	}
 	for i := a; i <= b; i++ {
@@ -273,7 +270,7 @@ func (g *Grid) walk(ranges []dimRange, idx []int, k, e, cellBase int, exact bool
 				ex = false
 			}
 		}
-		g.walk(ranges, idx, k+1, e, cellBase+i*stride, ex)
+		g.walk(ctx, ranges, idx, k+1, e, cellBase+i*stride, ex)
 	}
 }
 
@@ -281,7 +278,7 @@ func (g *Grid) walk(ranges []dimRange, idx []int, k, e, cellBase int, exact bool
 // emission position: each partition spans stride consecutive cells (the
 // unconstrained suffix), and inexact endpoint partitions are split off so
 // interior cells can use the exact-range scan optimization.
-func (g *Grid) emitRuns(base, stride, a, b int, exact, exLo, exHi, filtered bool) {
+func (g *Grid) emitRuns(ctx *ExecContext, base, stride, a, b int, exact, exLo, exHi, filtered bool) {
 	if !filtered {
 		exLo, exHi = true, true
 	}
@@ -289,12 +286,12 @@ func (g *Grid) emitRuns(base, stride, a, b int, exact, exLo, exHi, filtered bool
 		return run{start: base + p0*stride, end: base + (p1+1)*stride - 1, exact: ex}
 	}
 	if a == b {
-		g.runScratch = append(g.runScratch, block(a, a, exact && exLo && exHi))
+		ctx.runs = append(ctx.runs, block(a, a, exact && exLo && exHi))
 		return
 	}
 	lo, hi := a, b
 	if !exLo {
-		g.runScratch = append(g.runScratch, block(a, a, false))
+		ctx.runs = append(ctx.runs, block(a, a, false))
 		lo = a + 1
 	}
 	endSplit := !exHi
@@ -302,10 +299,10 @@ func (g *Grid) emitRuns(base, stride, a, b int, exact, exLo, exHi, filtered bool
 		hi = b - 1
 	}
 	if lo <= hi {
-		g.runScratch = append(g.runScratch, block(lo, hi, exact))
+		ctx.runs = append(ctx.runs, block(lo, hi, exact))
 	}
 	if endSplit {
-		g.runScratch = append(g.runScratch, block(b, b, false))
+		ctx.runs = append(ctx.runs, block(b, b, false))
 	}
 }
 

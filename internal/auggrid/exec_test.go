@@ -21,7 +21,7 @@ func TestExecuteUnboundedFilters(t *testing.T) {
 	} {
 		var want colstore.ScanResult
 		st.ScanRange(q, 0, st.NumRows(), false, &want)
-		got, _ := g.Execute(q)
+		got, _ := g.Execute(q, nil)
 		if got.Count != want.Count {
 			t.Errorf("%s: got %d, want %d", q, got.Count, want.Count)
 		}
@@ -33,11 +33,11 @@ func TestExecuteFilterOutsideDomain(t *testing.T) {
 	s := makeCorrelatedStore(2000, rng)
 	l := NewLayout(IndependentSkeleton(4), []int{4, 4, 2, 2}, 3)
 	g, _ := buildGrid(t, s, l)
-	res, _ := g.Execute(query.NewCount(query.Filter{Dim: 0, Lo: -500, Hi: -100}))
+	res, _ := g.Execute(query.NewCount(query.Filter{Dim: 0, Lo: -500, Hi: -100}), nil)
 	if res.Count != 0 {
 		t.Errorf("below-domain filter matched %d rows", res.Count)
 	}
-	res, _ = g.Execute(query.NewCount(query.Filter{Dim: 0, Lo: 1 << 40, Hi: 1 << 41}))
+	res, _ = g.Execute(query.NewCount(query.Filter{Dim: 0, Lo: 1 << 40, Hi: 1 << 41}), nil)
 	if res.Count != 0 {
 		t.Errorf("above-domain filter matched %d rows", res.Count)
 	}
@@ -51,7 +51,7 @@ func TestExecuteMappedFilterOutsideDomain(t *testing.T) {
 	l := NewLayout(sk, []int{8, 1, 2, 2}, -1)
 	g, _ := buildGrid(t, s, l)
 	// d1 = 2*d0 + [1000, 1500); values below 1000 are impossible.
-	res, _ := g.Execute(query.NewCount(query.Filter{Dim: 1, Lo: 0, Hi: 500}))
+	res, _ := g.Execute(query.NewCount(query.Filter{Dim: 1, Lo: 0, Hi: 500}), nil)
 	if res.Count != 0 {
 		t.Errorf("impossible mapped filter matched %d rows", res.Count)
 	}
@@ -72,7 +72,7 @@ func TestExecuteAllDimsEquality(t *testing.T) {
 	)
 	var want colstore.ScanResult
 	st.ScanRange(q, 0, st.NumRows(), false, &want)
-	got, _ := g.Execute(q)
+	got, _ := g.Execute(q, nil)
 	if got.Count != want.Count || got.Count == 0 {
 		t.Errorf("point query: got %d, want %d (>0)", got.Count, want.Count)
 	}
@@ -87,13 +87,13 @@ func TestExecStatsCountRanges(t *testing.T) {
 	// A contiguous partition range in the only partitioned dim yields at
 	// most two physical ranges: the exact interior plus an inexact
 	// endpoint partition split off so the interior can skip checks.
-	_, st := g.Execute(query.NewCount(query.Filter{Dim: 0, Lo: lo, Hi: (lo + hi) / 2}))
+	_, st := g.Execute(query.NewCount(query.Filter{Dim: 0, Lo: lo, Hi: (lo + hi) / 2}), nil)
 	if st.CellRanges > 2 {
 		t.Errorf("contiguous cells produced %d ranges, want <= 2", st.CellRanges)
 	}
 	// A filter aligned exactly on partition boundaries is one exact range.
 	b := g.bounds[0]
-	_, st2 := g.Execute(query.NewCount(query.Filter{Dim: 0, Lo: b[1], Hi: b[4] - 1}))
+	_, st2 := g.Execute(query.NewCount(query.Filter{Dim: 0, Lo: b[1], Hi: b[4] - 1}), nil)
 	if st2.CellRanges != 1 {
 		t.Errorf("boundary-aligned filter produced %d ranges, want 1", st2.CellRanges)
 	}
@@ -108,7 +108,7 @@ func TestExecuteExactRangeSkipsChecks(t *testing.T) {
 	// COUNT should then touch (almost) no data.
 	b := g.bounds[0]
 	q := query.NewCount(query.Filter{Dim: 0, Lo: b[2], Hi: b[5] - 1})
-	res, _ := g.Execute(q)
+	res, _ := g.Execute(q, nil)
 	if res.Count == 0 {
 		t.Fatal("expected matches")
 	}
@@ -144,8 +144,8 @@ func TestConditionalGuaranteedEmptyRegions(t *testing.T) {
 		query.Filter{Dim: 0, Lo: 20000, Hi: 40000},
 		query.Filter{Dim: 2, Lo: 1000, Hi: 3000},
 	)
-	rc, _ := g.Execute(q)
-	ri, _ := gi.Execute(q)
+	rc, _ := g.Execute(q, nil)
+	ri, _ := gi.Execute(q, nil)
 	if rc.Count != ri.Count {
 		t.Fatalf("conditional and independent disagree: %d vs %d", rc.Count, ri.Count)
 	}

@@ -1,0 +1,56 @@
+package auggrid
+
+import "sync"
+
+// ExecContext holds all per-query scratch a Grid needs to answer a query:
+// the effective-filter bounds produced by functional-mapping transformation,
+// the per-grid-dim partition ranges and indices used by cell enumeration,
+// and the run buffer runs are emitted into.
+//
+// A built Grid is immutable, so any number of goroutines may Execute against
+// the same Grid as long as each passes its own ExecContext (or nil, which
+// borrows one from a shared pool). Contexts are plain reusable buffers:
+// reusing one across sequential queries amortizes all per-query allocation,
+// but a single context must never be used by two queries at once.
+type ExecContext struct {
+	effLo, effHi []int64
+	ranges       []dimRange
+	idx          []int
+	runs         []run
+}
+
+// NewExecContext returns an empty context. Buffers grow on first use and are
+// retained across queries.
+func NewExecContext() *ExecContext { return &ExecContext{} }
+
+// effBounds returns the context's effective-filter arrays sized for d dims.
+func (ctx *ExecContext) effBounds(d int) ([]int64, []int64) {
+	if cap(ctx.effLo) < d {
+		ctx.effLo = make([]int64, d)
+		ctx.effHi = make([]int64, d)
+	}
+	return ctx.effLo[:d], ctx.effHi[:d]
+}
+
+// dimScratch returns the context's range and index arrays sized for nd grid
+// dims.
+func (ctx *ExecContext) dimScratch(nd int) ([]dimRange, []int) {
+	if cap(ctx.ranges) < nd {
+		ctx.ranges = make([]dimRange, nd)
+		ctx.idx = make([]int, nd)
+	}
+	return ctx.ranges[:nd], ctx.idx[:nd]
+}
+
+// ctxPool serves Execute calls that pass a nil context. Pooling keeps the
+// zero-setup path allocation-free in steady state without forcing every
+// caller to manage contexts explicitly.
+var ctxPool = sync.Pool{New: func() any { return NewExecContext() }}
+
+// GetExecContext borrows a context from the package pool. Callers that issue
+// many queries (worker loops, region-parallel execution) should borrow once,
+// reuse it per query, and return it with PutExecContext when done.
+func GetExecContext() *ExecContext { return ctxPool.Get().(*ExecContext) }
+
+// PutExecContext returns a borrowed context to the pool.
+func PutExecContext(ctx *ExecContext) { ctxPool.Put(ctx) }

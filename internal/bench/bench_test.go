@@ -71,6 +71,22 @@ func TestAblationsRun(t *testing.T) {
 	}
 }
 
+func TestConcurrencyRun(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions()
+	o.Rows = 4000
+	Concurrency(&buf, o)
+	out := buf.String()
+	if strings.Contains(out, "CORRECTNESS FAILURE") {
+		t.Fatalf("concurrency experiment detected an incorrect index:\n%s", out)
+	}
+	for _, want := range []string{"workers", "throughput", "speedup", "intra-query"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Concurrency output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestPrintTableAlignment(t *testing.T) {
 	var buf bytes.Buffer
 	tb := newTable("a", "bbbb")

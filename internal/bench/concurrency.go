@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	tsunami "repro"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// Concurrency reports batch query throughput through the public Executor
+// worker pool at 1, 4, and NumCPU workers, on the Fig 7 taxi query mix
+// against one shared Tsunami index (no per-goroutine cloning). The paper's
+// evaluation is single-threaded (§6.1); this experiment measures the
+// concurrent serving path the reproduction adds on top of it, alongside an
+// intra-query row where each single query's regions are split across the
+// pool.
+func Concurrency(w io.Writer, o Options) {
+	o = o.fill()
+	section(w, "Concurrency", "Executor throughput vs worker count (Fig 7 taxi mix)")
+	ds := datasets.Taxi(o.Rows, o.Seed+1)
+	work := workload.ForDataset(ds, o.QueriesPerType, o.Seed+101)
+	idx := core.Build(ds.Store, work, o.tsunamiConfig(core.FullTsunami))
+	if err := checkCorrect(idx, ds.Store, work); err != nil {
+		fmt.Fprintf(w, "CORRECTNESS FAILURE: %v\n", err)
+		return
+	}
+
+	counts := dedupInts([]int{1, 4, runtime.NumCPU()})
+	t := newTable("workers", "throughput (q/s)", "speedup vs 1 worker")
+	base := 0.0
+	for _, n := range counts {
+		ex := tsunami.NewExecutor(idx, tsunami.ExecutorOptions{Workers: n})
+		qps := batchThroughput(ex, work)
+		ex.Close()
+		if base == 0 {
+			base = qps
+		}
+		t.add(fmt.Sprintf("%d", n), fmt.Sprintf("%.0f", qps), fmt.Sprintf("%.2fx", qps/base))
+	}
+	t.print(w)
+
+	// Intra-query parallelism: one query at a time, its regions spread
+	// across the pool. Wins on queries routed to many regions; the table
+	// shows how much of the batch speedup a single large query can recover.
+	ex := tsunami.NewExecutor(idx, tsunami.ExecutorOptions{Workers: runtime.NumCPU(), IntraQuery: true})
+	start := time.Now()
+	passes := 0
+	for time.Since(start) < 150*time.Millisecond || passes < 2 {
+		for _, q := range work {
+			ex.Execute(q)
+		}
+		passes++
+	}
+	qps := float64(passes*len(work)) / time.Since(start).Seconds()
+	ex.Close()
+	fmt.Fprintf(w, "intra-query (%d workers, one query at a time): %.0f q/s (%.2fx vs 1 worker)\n",
+		runtime.NumCPU(), qps, qps/base)
+}
+
+// dedupInts drops repeated values, preserving order (NumCPU may equal one
+// of the fixed worker counts).
+func dedupInts(in []int) []int {
+	out := in[:0]
+	for _, v := range in {
+		seen := false
+		for _, o := range out {
+			seen = seen || o == v
+		}
+		if !seen {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// batchThroughput measures steady-state queries/sec of repeated
+// ExecuteBatch calls over the workload.
+func batchThroughput(ex *tsunami.Executor, qs []query.Query) float64 {
+	ex.ExecuteBatch(qs) // warm-up
+	const minDuration = 150 * time.Millisecond
+	batches := 0
+	start := time.Now()
+	for time.Since(start) < minDuration || batches < 2 {
+		ex.ExecuteBatch(qs)
+		batches++
+	}
+	return float64(batches*len(qs)) / time.Since(start).Seconds()
+}

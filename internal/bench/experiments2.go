@@ -216,7 +216,7 @@ type gridIndex struct {
 
 func (x *gridIndex) Name() string { return x.name }
 func (x *gridIndex) Execute(q query.Query) colstore.ScanResult {
-	res, _ := x.g.Execute(q)
+	res, _ := x.g.Execute(q, nil)
 	return res
 }
 func (x *gridIndex) SizeBytes() uint64 { return x.g.SizeBytes() }
@@ -235,6 +235,7 @@ func All(w io.Writer, o Options) {
 	Fig12a(w, o)
 	Fig12b(w, o)
 	Ablations(w, o)
+	Concurrency(w, o)
 }
 
 // Run dispatches an experiment by id ("tab3", "fig7", ..., "all").
@@ -264,10 +265,12 @@ func Run(w io.Writer, id string, o Options) error {
 		Fig12b(w, o)
 	case "ablation":
 		Ablations(w, o)
+	case "concurrency":
+		Concurrency(w, o)
 	case "all":
 		All(w, o)
 	default:
-		return fmt.Errorf("unknown experiment %q (tab3, tab4, fig7, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, ablation, all)", id)
+		return fmt.Errorf("unknown experiment %q (tab3, tab4, fig7, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, ablation, concurrency, all)", id)
 	}
 	return nil
 }

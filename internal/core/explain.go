@@ -32,17 +32,20 @@ type Trace struct {
 	RegionsTotal int
 }
 
-// Explain executes q and records per-region work.
+// Explain executes q and records per-region work. Like Execute it keeps all
+// per-query state in a pooled context, so it is safe for concurrent callers.
 func (t *Tsunami) Explain(q query.Query) Trace {
+	ctx := execCtxPool.Get().(*execContext)
+	defer execCtxPool.Put(ctx)
 	tr := Trace{Query: q, RegionsTotal: len(t.tree.Regions)}
-	t.regionBuf = t.tree.FindRegions(q, t.regionBuf[:0])
-	for _, r := range t.regionBuf {
+	ctx.regions = t.tree.FindRegions(q, ctx.regions[:0])
+	for _, r := range ctx.regions {
 		rt := RegionTrace{RegionID: r.ID, Rows: len(r.Rows)}
 		var res colstore.ScanResult
 		if g := t.grids[r.ID]; g != nil {
 			rt.HasGrid = true
 			rt.GridCells = g.NumCells()
-			sub, st := g.Execute(q)
+			sub, st := g.Execute(q, ctx.grid)
 			res = sub
 			rt.CellRanges = st.CellRanges
 			rt.CellsVisited = st.CellsVisited
@@ -56,7 +59,7 @@ func (t *Tsunami) Explain(q query.Query) Trace {
 		tr.Total.Add(res)
 		tr.Regions = append(tr.Regions, rt)
 	}
-	t.scanDeltas(q, t.regionBuf, &tr.Total)
+	t.scanDeltas(q, ctx.regions, &tr.Total)
 	return tr
 }
 

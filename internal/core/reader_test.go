@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -8,7 +9,10 @@ import (
 	"repro/internal/testutil"
 )
 
-func TestReaderClonesExecuteConcurrently(t *testing.T) {
+// TestSharedIndexExecutesConcurrently is the concurrency contract test: one
+// built Tsunami, no clones, many goroutines issuing queries at once. Run
+// under -race it also proves the read path keeps no shared mutable state.
+func TestSharedIndexExecutesConcurrently(t *testing.T) {
 	st := testutil.SmallTaxi(10000, 1)
 	work := testutil.SkewedQueries(st, 150, 2)
 	idx := Build(st, work, smallConfig(FullTsunami))
@@ -26,18 +30,17 @@ func TestReaderClonesExecuteConcurrently(t *testing.T) {
 	errs := make(chan string, readers)
 	for r := 0; r < readers; r++ {
 		wg.Add(1)
-		go func(r int) {
+		go func() {
 			defer wg.Done()
-			clone := idx.ReaderClone()
 			for pass := 0; pass < 5; pass++ {
 				for i, q := range probe {
-					if got := clone.Execute(q).Count; got != want[i] {
+					if got := idx.Execute(q).Count; got != want[i] {
 						errs <- q.String()
 						return
 					}
 				}
 			}
-		}(r)
+		}()
 	}
 	wg.Wait()
 	close(errs)
@@ -46,15 +49,43 @@ func TestReaderClonesExecuteConcurrently(t *testing.T) {
 	}
 }
 
-func TestReaderCloneSharesData(t *testing.T) {
-	st := testutil.SmallTaxi(3000, 4)
-	work := testutil.SkewedQueries(st, 80, 5)
+// TestExecuteParallelMatchesSequential checks intra-query parallelism:
+// splitting a query's regions across workers must merge to the sequential
+// answer, at every worker count.
+func TestExecuteParallelMatchesSequential(t *testing.T) {
+	st := testutil.SmallTaxi(8000, 4)
+	work := testutil.SkewedQueries(st, 120, 5)
 	idx := Build(st, work, smallConfig(FullTsunami))
-	clone := idx.ReaderClone()
-	if clone.Store() != idx.Store() {
-		t.Error("reader clone should share the column store")
+	probe := testutil.RandomQueries(st, 40, 6)
+
+	for _, workers := range []int{0, 1, 2, 4, runtime.NumCPU()} {
+		for _, q := range probe {
+			want := idx.Execute(q)
+			got := idx.ExecuteParallel(q, workers)
+			if got != want {
+				t.Fatalf("ExecuteParallel(%s, %d) = %+v, want %+v", q, workers, got, want)
+			}
+		}
 	}
-	if clone.SizeBytes() != idx.SizeBytes() {
-		t.Error("reader clone should report the same size")
+}
+
+// TestExecuteParallelSeesDeltas checks that buffered inserts are counted
+// exactly once when a query's regions execute on multiple workers.
+func TestExecuteParallelSeesDeltas(t *testing.T) {
+	st := testutil.SmallTaxi(6000, 7)
+	work := testutil.SkewedQueries(st, 100, 8)
+	idx := Build(st, work, smallConfig(FullTsunami))
+	row := make([]int64, st.NumDims())
+	for i := 0; i < 50; i++ {
+		if err := idx.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := testutil.RandomQueries(st, 20, 9)
+	for _, q := range probe {
+		want := idx.Execute(q)
+		if got := idx.ExecuteParallel(q, 4); got != want {
+			t.Fatalf("ExecuteParallel with deltas on %s = %+v, want %+v", q, got, want)
+		}
 	}
 }

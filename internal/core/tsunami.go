@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/auggrid"
@@ -66,7 +67,11 @@ type Config struct {
 	Parallelism int
 }
 
-// Tsunami is a built index.
+// Tsunami is a built index. A built Tsunami is immutable on the read path:
+// Execute, Explain, and RegionsVisited keep all per-query state in pooled
+// execution contexts, so one shared index serves any number of concurrent
+// callers. Writes (Insert, MergeDeltas, Reoptimize*) mutate the index and
+// must be externally synchronized with readers.
 type Tsunami struct {
 	cfg    Config
 	store  *colstore.Store
@@ -75,12 +80,24 @@ type Tsunami struct {
 	bounds [][2]int        // physical [start, end) per region
 	stats  index.BuildStats
 
-	regionBuf []*gridtree.Region // scratch for traversal
-
 	// Insert buffering (§8): per-region delta siblings, folded in by
 	// MergeDeltas.
 	deltas      map[int]*delta
 	numBuffered int
+}
+
+// execContext bundles the per-query scratch of one traversal: the region
+// list produced by the Grid Tree plus the grid-level context threaded
+// through every region grid. Contexts are pooled so the public Execute
+// keeps its one-argument signature while staying allocation-free and safe
+// for arbitrary concurrent callers.
+type execContext struct {
+	regions []*gridtree.Region
+	grid    *auggrid.ExecContext
+}
+
+var execCtxPool = sync.Pool{
+	New: func() any { return &execContext{grid: auggrid.NewExecContext()} },
 }
 
 // Build optimizes and constructs the index over a clone of st for the
@@ -206,21 +223,106 @@ func (t *Tsunami) BuildStats() index.BuildStats { return t.stats }
 
 // Execute implements index.Index (§3 query workflow): traverse the Grid
 // Tree for intersecting regions, delegate to each region's Augmented Grid,
-// and aggregate; unindexed regions are scanned.
+// and aggregate; unindexed regions are scanned. Safe for any number of
+// concurrent callers against the same index (see the Tsunami doc comment
+// for the read/write contract).
 func (t *Tsunami) Execute(q query.Query) colstore.ScanResult {
+	ctx := execCtxPool.Get().(*execContext)
+	defer execCtxPool.Put(ctx)
+	return t.executeCtx(q, ctx)
+}
+
+// executeCtx is Execute with explicit per-query state.
+func (t *Tsunami) executeCtx(q query.Query, ctx *execContext) colstore.ScanResult {
+	ctx.regions = t.tree.FindRegions(q, ctx.regions[:0])
+	return t.executeRegions(q, ctx.regions, ctx.grid)
+}
+
+// executeRegions is the sequential execution path over an already-found
+// region list: answer q in each region, then fold in buffered inserts.
+func (t *Tsunami) executeRegions(q query.Query, regions []*gridtree.Region, gctx *auggrid.ExecContext) colstore.ScanResult {
 	var res colstore.ScanResult
-	t.regionBuf = t.tree.FindRegions(q, t.regionBuf[:0])
-	for _, r := range t.regionBuf {
-		if g := t.grids[r.ID]; g != nil {
-			sub, _ := g.Execute(q)
-			res.Add(sub)
-			continue
-		}
-		b := t.bounds[r.ID]
-		exact := regionContained(q, r)
-		t.store.ScanRange(q, b[0], b[1], exact, &res)
+	for _, r := range regions {
+		t.executeRegion(q, r, gctx, &res)
 	}
-	t.scanDeltas(q, t.regionBuf, &res)
+	t.scanDeltas(q, regions, &res)
+	return res
+}
+
+// executeRegion answers q within one region: grid regions delegate to
+// their Augmented Grid, unindexed regions scan their physical range.
+func (t *Tsunami) executeRegion(q query.Query, r *gridtree.Region, gctx *auggrid.ExecContext, res *colstore.ScanResult) {
+	if g := t.grids[r.ID]; g != nil {
+		sub, _ := g.Execute(q, gctx)
+		res.Add(sub)
+		return
+	}
+	b := t.bounds[r.ID]
+	t.store.ScanRange(q, b[0], b[1], regionContained(q, r), res)
+}
+
+// ExecuteParallel answers one query with intra-query parallelism: the
+// regions the Grid Tree routes the query to are spread across up to
+// workers goroutines, each executing its share of region grids with its
+// own context, and the partial ScanResults are merged. For queries that
+// touch few regions (or workers <= 1) it falls back to the sequential
+// path, so it is always safe to call. The concurrency contract matches
+// Execute.
+func (t *Tsunami) ExecuteParallel(q query.Query, workers int) colstore.ScanResult {
+	return t.ExecuteParallelOn(q, workers, nil)
+}
+
+// ExecuteParallelOn is ExecuteParallel with task scheduling delegated to
+// the caller: each of the up to workers region-draining tasks is handed to
+// submit, which must run it (possibly later) on some goroutine — typically
+// an existing worker pool, so per-query goroutine creation is avoided.
+// Tasks never block on other tasks, so running them on a shared pool
+// cannot deadlock. A nil submit spawns one goroutine per task.
+func (t *Tsunami) ExecuteParallelOn(q query.Query, workers int, submit func(task func())) colstore.ScanResult {
+	ctx := execCtxPool.Get().(*execContext)
+	defer execCtxPool.Put(ctx)
+	ctx.regions = t.tree.FindRegions(q, ctx.regions[:0])
+	regions := ctx.regions
+	if workers > len(regions) {
+		workers = len(regions)
+	}
+	if workers <= 1 {
+		return t.executeRegions(q, regions, ctx.grid)
+	}
+	if submit == nil {
+		submit = func(task func()) { go task() }
+	}
+
+	// Dynamic work assignment: region sizes are highly skewed (Tab 4), so
+	// workers pull the next region from a shared cursor instead of taking
+	// fixed stripes.
+	var cursor atomic.Int64
+	partial := make([]colstore.ScanResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		w := w
+		submit(func() {
+			defer wg.Done()
+			gctx := auggrid.GetExecContext()
+			defer auggrid.PutExecContext(gctx)
+			var res colstore.ScanResult
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(regions) {
+					break
+				}
+				t.executeRegion(q, regions[i], gctx, &res)
+			}
+			partial[w] = res
+		})
+	}
+	wg.Wait()
+	var res colstore.ScanResult
+	for _, p := range partial {
+		res.Add(p)
+	}
+	t.scanDeltas(q, regions, &res)
 	return res
 }
 
@@ -242,24 +344,6 @@ func (t *Tsunami) SizeBytes() uint64 {
 		}
 	}
 	return size
-}
-
-// ReaderClone returns an index sharing all structure and data with t but
-// owning its own traversal and grid scratch, so the clone can Execute
-// concurrently with t and with other reader clones. Writes (Insert,
-// MergeDeltas, Reoptimize*) must not run while readers are active; the
-// paper's evaluation is single-threaded (§6.1), so this is an extension
-// for serving read-only workloads from multiple goroutines.
-func (t *Tsunami) ReaderClone() *Tsunami {
-	clone := *t
-	clone.regionBuf = nil
-	clone.grids = make([]*auggrid.Grid, len(t.grids))
-	for i, g := range t.grids {
-		if g != nil {
-			clone.grids[i] = g.ReaderClone()
-		}
-	}
-	return &clone
 }
 
 // Store returns the reorganized column store (tests use it as ground
@@ -289,8 +373,11 @@ type Stats struct {
 
 // RegionsVisited returns how many Grid Tree regions q intersects.
 func (t *Tsunami) RegionsVisited(q query.Query) int {
-	t.regionBuf = t.tree.FindRegions(q, t.regionBuf[:0])
-	return len(t.regionBuf)
+	ctx := execCtxPool.Get().(*execContext)
+	ctx.regions = t.tree.FindRegions(q, ctx.regions[:0])
+	n := len(ctx.regions)
+	execCtxPool.Put(ctx)
+	return n
 }
 
 // DebugRegions renders per-region layout summaries for diagnostics.

@@ -70,9 +70,11 @@ func Build(st *colstore.Store, workload []query.Query, cfg Config) *Index {
 // Name implements index.Index.
 func (x *Index) Name() string { return "Flood" }
 
-// Execute implements index.Index.
+// Execute implements index.Index. The grid is immutable and per-query
+// state lives in a pooled ExecContext, so one shared Flood index serves
+// any number of concurrent callers.
 func (x *Index) Execute(q query.Query) colstore.ScanResult {
-	res, _ := x.grid.Execute(q)
+	res, _ := x.grid.Execute(q, nil)
 	return res
 }
 

@@ -17,6 +17,13 @@ type Index interface {
 	// Name identifies the index in experiment output.
 	Name() string
 	// Execute runs the query and returns the aggregate plus scan statistics.
+	//
+	// Concurrency contract: a built index is immutable on the read path.
+	// Execute must be safe for any number of concurrent callers against
+	// the same index value, with no per-goroutine cloning; implementations
+	// keep per-query state on the stack or in pooled execution contexts.
+	// Operations that mutate an index (inserts, merges, re-optimization)
+	// require external synchronization with readers.
 	Execute(q query.Query) colstore.ScanResult
 	// SizeBytes reports the index structure's memory footprint, excluding
 	// the column data itself (the paper's "index size" metric, Fig 8).
@@ -43,7 +50,8 @@ func NewFullScan(s *colstore.Store) *FullScan { return &FullScan{store: s} }
 // Name implements Index.
 func (f *FullScan) Name() string { return "FullScan" }
 
-// Execute implements Index by scanning every row.
+// Execute implements Index by scanning every row. Stateless, so safe for
+// concurrent callers.
 func (f *FullScan) Execute(q query.Query) colstore.ScanResult {
 	var res colstore.ScanResult
 	f.store.ScanRange(q, 0, f.store.NumRows(), false, &res)

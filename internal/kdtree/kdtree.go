@@ -171,7 +171,9 @@ func (x *Index) BuildStats() index.BuildStats { return x.stats }
 
 // Execute implements index.Index: traverse to intersecting leaves and scan
 // their physical ranges, skipping per-value checks when a leaf's box is
-// contained in the query rectangle.
+// contained in the query rectangle. The tree is immutable after Build and
+// traversal state is on the stack, so Execute is safe for concurrent
+// callers sharing one index.
 func (x *Index) Execute(q query.Query) colstore.ScanResult {
 	var res colstore.ScanResult
 	x.visit(x.root, q, &res)

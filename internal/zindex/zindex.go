@@ -158,6 +158,8 @@ func (x *Index) BuildStats() index.BuildStats { return x.stats }
 
 // Execute implements index.Index: restrict to pages whose Z-range overlaps
 // the query rectangle's Z-range, then use per-page min/max metadata to skip.
+// Pages and quantizer are immutable after Build and the corner buffers are
+// per-call, so Execute is safe for concurrent callers sharing one index.
 func (x *Index) Execute(q query.Query) colstore.ScanResult {
 	var res colstore.ScanResult
 	d := x.store.NumDims()

@@ -16,6 +16,13 @@
 // so the full experimental suite in the paper can be reproduced (see
 // EXPERIMENTS.md).
 //
+// Every built index is immutable on the read path: Execute keeps per-query
+// state in pooled execution contexts, so one shared index serves any number
+// of concurrent goroutines with no cloning. For throughput-oriented serving,
+// NewExecutor wraps an index in a fixed worker pool with batch execution
+// (ExecuteBatch) and optional intra-query parallelism that splits a single
+// query's Grid Tree regions across workers.
+//
 // Quick start:
 //
 //	table, _ := tsunami.NewTableFromRows(rows, []string{"time", "price", "qty"})
