@@ -12,7 +12,9 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	tsunami "repro"
 	"repro/internal/bench"
@@ -102,6 +104,73 @@ func BenchmarkExecutorWorkers(b *testing.B) {
 			b.ReportMetric(float64(b.N*len(work))/b.Elapsed().Seconds(), "queries/sec")
 		})
 	}
+}
+
+// BenchmarkLiveMixed measures the mixed read/write serving mode: parallel
+// readers execute against a LiveStore while background writers stream
+// inserts fast enough to force repeated copy-on-write merges. Reads
+// resolve the current epoch through an atomic pointer and never take a
+// lock, so read throughput persists through maintenance — the merges/sec
+// metric confirms maintenance actually overlapped the measured reads
+// (compare reads/sec here against BenchmarkQueryTsunami's sequential
+// read-only latency: there is no stop-the-world window to amortize).
+func BenchmarkLiveMixed(b *testing.B) {
+	ds, work := microSetup(b)
+	idx := tsunami.New(ds.Store, work, tsunami.Options{OptimizerIters: 2, MaxOptQueries: 32})
+	ls := tsunami.NewLiveStore(idx, nil, tsunami.LiveOptions{MergeThreshold: 512})
+	defer ls.Close()
+
+	// Background writers: perturbed copies of existing rows. Writers are
+	// paced (a short sleep per small batch) so the table grows linearly
+	// with wall time instead of running away — the point is steady
+	// maintenance pressure under the readers, not maximum ingest.
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		w := w
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			buf := make([]int64, ds.Store.NumDims())
+			rows := make([][]int64, 8)
+			for i := 0; ; i += len(rows) {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for k := range rows {
+					row := append([]int64(nil), ds.Store.Row((w*7919+i+k)%ds.Store.NumRows(), buf)...)
+					row[0]++
+					rows[k] = row
+				}
+				if err := ls.InsertBatch(rows); err != nil {
+					b.Error(err)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+
+	b.ReportAllocs()
+	before := ls.Stats() // activity during setup must not count
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			ls.Execute(work[i%len(work)])
+			i++
+		}
+	})
+	b.StopTimer()
+	after := ls.Stats()
+	close(stop)
+	writerWG.Wait()
+	secs := b.Elapsed().Seconds()
+	b.ReportMetric(float64(b.N)/secs, "reads/sec")
+	b.ReportMetric(float64(after.Inserts-before.Inserts)/secs, "writes/sec")
+	b.ReportMetric(float64(after.Merges-before.Merges)/secs, "merges/sec")
 }
 
 // ---------------------------------------------------------------------------

@@ -11,6 +11,16 @@
 //	> save /tmp/taxi.idx
 //	> stats
 //	> quit
+//
+// With -live the shell serves through a LiveStore: inserts are published
+// copy-on-write and merge in the background once -merge-threshold rows
+// are buffered, a shift detector watches the query stream and
+// re-optimizes drifted regions, maintenance events are printed as they
+// complete, and -snapshot/-snapshot-every persist crash-recovery
+// snapshots (including buffered rows) while serving.
+//
+//	tsunami-cli -dataset taxi -live -merge-threshold 10000 \
+//	    -snapshot /tmp/taxi.idx -snapshot-every 30s
 package main
 
 import (
@@ -23,25 +33,54 @@ import (
 	"time"
 
 	"repro/internal/auggrid"
+	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/gridtree"
+	"repro/internal/live"
 	"repro/internal/qparse"
+	"repro/internal/query"
 	"repro/internal/workload"
 )
 
+// session is the shell's target: a plain offline index, or the same index
+// served through a LiveStore (-live).
+type session struct {
+	idx  *core.Tsunami // offline mode only
+	live *live.Store   // live mode only
+}
+
+func (s *session) index() *core.Tsunami {
+	if s.live != nil {
+		return s.live.Index()
+	}
+	return s.idx
+}
+
+func (s *session) execute(q query.Query) colstore.ScanResult {
+	if s.live != nil {
+		return s.live.Execute(q)
+	}
+	return s.idx.Execute(q)
+}
+
 func main() {
 	var (
-		dataset = flag.String("dataset", "taxi", "dataset: tpch, taxi, perfmon, stocks, uniform, correlated")
-		rows    = flag.Int("rows", 100_000, "rows to generate")
-		dims    = flag.Int("dims", 8, "dimensions (synthetic datasets only)")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		load    = flag.String("load", "", "load a saved index instead of building one")
+		dataset   = flag.String("dataset", "taxi", "dataset: tpch, taxi, perfmon, stocks, uniform, correlated")
+		rows      = flag.Int("rows", 100_000, "rows to generate")
+		dims      = flag.Int("dims", 8, "dimensions (synthetic datasets only)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		load      = flag.String("load", "", "load a saved index instead of building one")
+		liveMode  = flag.Bool("live", false, "serve through a LiveStore: background merge, shift-triggered reoptimization")
+		mergeAt   = flag.Int("merge-threshold", 4096, "buffered rows triggering a background merge (-live)")
+		snapPath  = flag.String("snapshot", "", "periodic crash-recovery snapshot file (-live)")
+		snapEvery = flag.Duration("snapshot-every", 30*time.Second, "periodic snapshot interval (-live, needs -snapshot)")
 	)
 	flag.Parse()
 
 	var idx *core.Tsunami
 	var names []string
+	var work []query.Query
 
 	if *load != "" {
 		f, err := os.Open(*load)
@@ -57,7 +96,7 @@ func main() {
 		fmt.Printf("loaded index: %d rows, %d dims\n", idx.Store().NumRows(), idx.Store().NumDims())
 	} else {
 		ds := generate(*dataset, *rows, *dims, *seed)
-		work := workload.ForDataset(ds, 100, *seed+1)
+		work = workload.ForDataset(ds, 100, *seed+1)
 		fmt.Printf("building Tsunami over %s (%d rows, %d dims, %d sample queries)...\n",
 			ds.Name, ds.Rows(), ds.Dims(), len(work))
 		start := time.Now()
@@ -73,6 +112,35 @@ func main() {
 		names = idx.Store().Names()
 		fmt.Printf("built in %.1fs; columns: %s\n", time.Since(start).Seconds(), strings.Join(names, ", "))
 	}
+
+	s := &session{idx: idx}
+	if *liveMode {
+		cfg := live.Config{
+			MergeThreshold: *mergeAt,
+			OnEvent: func(ev live.Event) {
+				switch ev.Kind {
+				case live.EventMerge:
+					fmt.Printf("\n[live] merged %d rows in %.2fs (epoch %d)\n> ", ev.MergedRows, ev.Seconds, ev.Epoch)
+				case live.EventReoptimize:
+					fmt.Printf("\n[live] workload shift: re-optimized %d regions in %.2fs (epoch %d)\n> ", ev.RegionsRebuilt, ev.Seconds, ev.Epoch)
+				case live.EventSnapshot:
+					fmt.Printf("\n[live] snapshot written in %.2fs\n> ", ev.Seconds)
+				case live.EventError:
+					fmt.Printf("\n[live] maintenance error: %v\n> ", ev.Err)
+				}
+			},
+		}
+		if *snapPath != "" {
+			cfg.SnapshotPath = *snapPath
+			cfg.SnapshotInterval = *snapEvery
+		}
+		// A loaded index has no sample workload to fingerprint, so shift
+		// detection only runs for freshly built indexes.
+		s = &session{live: live.Open(idx, work, cfg)}
+		defer s.live.Close()
+		fmt.Printf("live serving: merge threshold %d, shift detection %v\n",
+			*mergeAt, s.live.Stats().DetectorTypes > 0)
+	}
 	fmt.Println(`type "help" for commands`)
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -80,7 +148,7 @@ func main() {
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line != "" {
-			if quit := eval(idx, names, line); quit {
+			if quit := eval(s, names, line); quit {
 				return
 			}
 		}
@@ -89,7 +157,7 @@ func main() {
 }
 
 // eval executes one command; returns true to quit.
-func eval(idx *core.Tsunami, names []string, line string) bool {
+func eval(s *session, names []string, line string) bool {
 	verb := strings.ToLower(strings.Fields(line)[0])
 	switch verb {
 	case "quit", "exit":
@@ -100,17 +168,23 @@ func eval(idx *core.Tsunami, names []string, line string) bool {
   sum <col> <pred>...    SUM(col)
   explain <pred>...      show which regions/cells the query touches
   stats                  index structure statistics (Tab 4 of the paper)
-  insert v1,v2,...       buffer a new row (delta sibling)
-  merge                  fold buffered rows into the clustered layout
-  save <file>            persist the index
+  insert v1,v2,...       add a row (live: visible immediately, merged in background)
+  merge                  fold buffered rows into the clustered layout now
+  save <file>            persist the index (incl. buffered rows)
   quit
 `)
 	case "stats":
-		s := idx.IndexStats()
-		fmt.Printf("grid tree: %d nodes, depth %d, %d regions\n", s.NumGridTreeNodes, s.GridTreeDepth, s.NumLeafRegions)
-		fmt.Printf("points/region: min=%d median=%d max=%d\n", s.MinPointsPerRegion, s.MedianPointsPerRegion, s.MaxPointsPerRegion)
+		idx := s.index()
+		st := idx.IndexStats()
+		fmt.Printf("grid tree: %d nodes, depth %d, %d regions\n", st.NumGridTreeNodes, st.GridTreeDepth, st.NumLeafRegions)
+		fmt.Printf("points/region: min=%d median=%d max=%d\n", st.MinPointsPerRegion, st.MedianPointsPerRegion, st.MaxPointsPerRegion)
 		fmt.Printf("avg FMs/region=%.2f avg CCDFs/region=%.2f, %d grid cells, %d bytes, %d buffered inserts\n",
-			s.AvgFMsPerRegion, s.AvgCCDFsPerRegion, s.TotalGridCells, idx.SizeBytes(), idx.NumBuffered())
+			st.AvgFMsPerRegion, st.AvgCCDFsPerRegion, st.TotalGridCells, idx.SizeBytes(), idx.NumBuffered())
+		if s.live != nil {
+			ls := s.live.Stats()
+			fmt.Printf("live: epoch %d, %d clustered + %d buffered rows, %d queries, %d inserts, %d merges, %d reoptimizations, %d snapshots\n",
+				ls.Epoch, ls.ClusteredRows, ls.BufferedRows, ls.Queries, ls.Inserts, ls.Merges, ls.Reoptimizations, ls.Snapshots)
+		}
 	case "insert":
 		rest := strings.TrimSpace(line[len("insert"):])
 		parts := strings.Split(rest, ",")
@@ -123,18 +197,30 @@ func eval(idx *core.Tsunami, names []string, line string) bool {
 			}
 			row = append(row, v)
 		}
-		if err := idx.Insert(row); err != nil {
+		var err error
+		if s.live != nil {
+			err = s.live.Insert(row)
+		} else {
+			err = s.idx.Insert(row)
+		}
+		if err != nil {
 			fmt.Println(err)
 			return false
 		}
-		fmt.Printf("buffered (%d pending)\n", idx.NumBuffered())
+		fmt.Printf("inserted (%d pending merge)\n", s.index().NumBuffered())
 	case "merge":
 		start := time.Now()
-		if err := idx.MergeDeltas(); err != nil {
+		var err error
+		if s.live != nil {
+			err = s.live.Flush()
+		} else {
+			err = s.idx.MergeDeltas()
+		}
+		if err != nil {
 			fmt.Println(err)
 			return false
 		}
-		fmt.Printf("merged in %v; table now %d rows\n", time.Since(start), idx.Store().NumRows())
+		fmt.Printf("merged in %v; table now %d rows\n", time.Since(start), s.index().Store().NumRows())
 	case "save":
 		fields := strings.Fields(line)
 		if len(fields) != 2 {
@@ -146,7 +232,11 @@ func eval(idx *core.Tsunami, names []string, line string) bool {
 			fmt.Println(err)
 			return false
 		}
-		err = idx.Save(f)
+		if s.live != nil {
+			err = s.live.Snapshot(f)
+		} else {
+			err = s.idx.Save(f)
+		}
 		f.Close()
 		if err != nil {
 			fmt.Println(err)
@@ -160,11 +250,11 @@ func eval(idx *core.Tsunami, names []string, line string) bool {
 			return false
 		}
 		if verb == "explain" {
-			fmt.Print(idx.Explain(q))
+			fmt.Print(s.index().Explain(q))
 			return false
 		}
 		start := time.Now()
-		res := idx.Execute(q)
+		res := s.execute(q)
 		elapsed := time.Since(start)
 		if verb == "sum" {
 			fmt.Printf("sum=%d count=%d (scanned %d rows in %v)\n", res.Sum, res.Count, res.PointsScanned, elapsed)

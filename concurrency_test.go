@@ -139,6 +139,111 @@ func TestExecutorBatchFromManyGoroutines(t *testing.T) {
 	}
 }
 
+// TestExecutorAfterCloseIsSafe is the regression test for the post-Close
+// contract: Execute and ExecuteBatch on a closed Executor are no-ops
+// returning zero Results, not sends on a closed channel.
+func TestExecutorAfterCloseIsSafe(t *testing.T) {
+	ds, work, probe, _ := concurrencySetup(t, 6_000, 51)
+	idx := tsunami.New(ds.Store, work, smallOptions())
+
+	for _, intra := range []bool{false, true} {
+		ex := tsunami.NewExecutor(idx, tsunami.ExecutorOptions{Workers: 2, IntraQuery: intra})
+		ex.Close()
+		if got := ex.Execute(probe[0]); got != (tsunami.Result{}) {
+			t.Errorf("intra=%v: Execute after Close = %+v, want zero", intra, got)
+		}
+		res := ex.ExecuteBatch(probe)
+		if len(res) != len(probe) {
+			t.Fatalf("intra=%v: %d results for %d queries", intra, len(res), len(probe))
+		}
+		for i, r := range res {
+			if r != (tsunami.Result{}) {
+				t.Errorf("intra=%v: batch result %d after Close = %+v, want zero", intra, i, r)
+			}
+		}
+		ex.Close() // still idempotent
+	}
+}
+
+// TestExecuteBatchWaves checks adaptive batch sizing: a batch much larger
+// than MaxWave is processed in pool-sized waves with results positionally
+// identical to sequential execution.
+func TestExecuteBatchWaves(t *testing.T) {
+	ds, work, probe, _ := concurrencySetup(t, 8_000, 61)
+	idx := tsunami.New(ds.Store, work, smallOptions())
+
+	// 8 probes tiled to a 200-query batch against MaxWave 16.
+	big := make([]tsunami.Query, 200)
+	for i := range big {
+		big[i] = probe[i%len(probe)]
+	}
+	ex := tsunami.NewExecutor(idx, tsunami.ExecutorOptions{Workers: 4, MaxWave: 16})
+	defer ex.Close()
+	got := ex.ExecuteBatch(big)
+	if len(got) != len(big) {
+		t.Fatalf("got %d results for %d queries", len(got), len(big))
+	}
+	for i, q := range big {
+		if seq := idx.Execute(q); got[i] != seq {
+			t.Errorf("query %d (%s): wave batch %+v != sequential %+v", i, q, got[i], seq)
+		}
+	}
+}
+
+// TestExecutorOverLiveStore checks the serving composition: an Executor
+// whose queries resolve through a LiveStore pick up epoch swaps — rows
+// inserted (and merged) after the pool started are visible to later
+// batches, with no pool restart.
+func TestExecutorOverLiveStore(t *testing.T) {
+	ds, work, probe, want := concurrencySetup(t, 8_000, 71)
+	idx := tsunami.New(ds.Store, work, smallOptions())
+	ls := tsunami.NewLiveStore(idx, nil, tsunami.LiveOptions{MergeThreshold: 64})
+	defer ls.Close()
+
+	// A LiveStore is both an Index and an IndexSource; both compositions
+	// must track epochs (Execute resolves the current epoch per call).
+	exIdx := tsunami.NewExecutor(ls, tsunami.ExecutorOptions{Workers: 4})
+	defer exIdx.Close()
+	exSrc := tsunami.NewExecutorSource(ls, tsunami.ExecutorOptions{Workers: 4})
+	defer exSrc.Close()
+
+	for name, ex := range map[string]*tsunami.Executor{"index": exIdx, "source": exSrc} {
+		res := ex.ExecuteBatch(probe)
+		for i := range probe {
+			if res[i].Count != want[i] {
+				t.Errorf("%s executor pre-insert on %s: %d, want %d", name, probe[i], res[i].Count, want[i])
+			}
+		}
+	}
+
+	// Insert rows matching probe[0] and wait for them through the pools.
+	d := ds.Store.NumDims()
+	target := probe[0]
+	row := make([]int64, d)
+	for j := 0; j < d; j++ {
+		lo, _ := ds.Store.MinMax(j)
+		row[j] = lo
+	}
+	for _, f := range target.Filters {
+		row[f.Dim] = f.Lo
+	}
+	const extra = 100
+	for i := 0; i < extra; i++ {
+		if err := ls.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ls.Flush(); err != nil { // force the merge so a new epoch is live
+		t.Fatal(err)
+	}
+	for name, ex := range map[string]*tsunami.Executor{"index": exIdx, "source": exSrc} {
+		got := ex.ExecuteBatch([]tsunami.Query{target})[0].Count
+		if got != want[0]+extra {
+			t.Errorf("%s executor post-swap on %s: %d, want %d", name, target, got, want[0]+extra)
+		}
+	}
+}
+
 // TestExecutorIntraQuery checks the intra-query path: splitting one query's
 // regions across workers must produce the sequential answer, including on
 // baselines that don't support splitting (where it falls back).

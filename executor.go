@@ -16,6 +16,15 @@ type intraQueryIndex interface {
 	ExecuteParallelOn(q query.Query, workers int, submit func(task func())) colstore.ScanResult
 }
 
+// IndexSource yields the index an Executor executes against, resolved per
+// query, so sources that swap indexes over time (a LiveStore publishing
+// background merges and re-optimizations) take effect without restarting
+// the pool. Every returned index must honor the Index read-path
+// concurrency contract.
+type IndexSource interface {
+	CurrentIndex() Index
+}
+
 // ExecutorOptions configures an Executor. The zero value uses one worker
 // per CPU with intra-query parallelism off.
 type ExecutorOptions struct {
@@ -25,47 +34,78 @@ type ExecutorOptions struct {
 	// pool when the index supports it (TsunamiIndex does, by region).
 	// Batch execution always parallelizes across queries regardless.
 	IntraQuery bool
+	// MaxWave caps how many batch queries are in flight at once: large
+	// ExecuteBatch calls are split into waves of this size so in-flight
+	// work (and the cache footprint of its result writes) stays bounded
+	// by the pool, not the batch (default 8*Workers, minimum Workers).
+	MaxWave int
 }
 
 // Executor serves queries against one shared index from a fixed pool of
 // workers. It relies on the Index concurrency contract — built indexes are
 // immutable on the read path — so no cloning happens anywhere; every worker
-// executes against the same index value.
+// executes against the same index value. Built over an IndexSource
+// (NewExecutorSource), it instead resolves the source's current index per
+// query, so epoch swaps published by a LiveStore are picked up mid-batch.
 //
 // An Executor is safe for concurrent use: ExecuteBatch may be called from
 // many goroutines at once and the pool fair-shares across them. Close
-// releases the workers; the Executor must not be used after Close. The
-// index must not be mutated (inserts, merges, re-optimization) while the
-// Executor is serving.
+// releases the workers. Execute and ExecuteBatch after Close are no-ops
+// returning zero Results. A plain-index Executor's index must not be
+// mutated (inserts, merges, re-optimization) while the Executor is
+// serving; an IndexSource-backed Executor relies on the source only ever
+// publishing immutable values.
 type Executor struct {
-	idx     Index
-	intra   intraQueryIndex // non-nil only when IntraQuery is on and supported
+	source  func() Index
+	intra   bool // split single Execute calls when the index supports it
 	workers int
+	maxWave int
 
 	// jobs carries closures so one pool serves both granularities: whole
 	// queries (ExecuteBatch) and a single query's region-draining tasks
 	// (intra-query Execute). Jobs never block on other jobs, so sharing
 	// the pool cannot deadlock.
-	jobs      chan func()
-	wg        sync.WaitGroup
-	closeOnce sync.Once
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	// mu guards sends against Close: senders hold it shared, Close holds
+	// it exclusively while marking closed and closing jobs, so a send on
+	// the closed channel can never happen.
+	mu     sync.RWMutex
+	closed bool
 }
 
 // NewExecutor starts a worker pool over a shared index.
 func NewExecutor(idx Index, o ExecutorOptions) *Executor {
+	return newExecutor(func() Index { return idx }, o)
+}
+
+// NewExecutorSource starts a worker pool over an IndexSource; each query
+// executes against the source's index at the moment it starts, so index
+// swaps (e.g. LiveStore epoch publishes) take effect without restarting
+// the pool.
+func NewExecutorSource(src IndexSource, o ExecutorOptions) *Executor {
+	return newExecutor(src.CurrentIndex, o)
+}
+
+func newExecutor(source func() Index, o ExecutorOptions) *Executor {
 	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	e := &Executor{
-		idx:     idx,
-		workers: workers,
-		jobs:    make(chan func(), 2*workers),
+	maxWave := o.MaxWave
+	if maxWave <= 0 {
+		maxWave = 8 * workers
 	}
-	if o.IntraQuery {
-		if p, ok := idx.(intraQueryIndex); ok {
-			e.intra = p
-		}
+	if maxWave < workers {
+		maxWave = workers
+	}
+	e := &Executor{
+		source:  source,
+		intra:   o.IntraQuery,
+		workers: workers,
+		maxWave: maxWave,
+		jobs:    make(chan func(), 2*workers),
 	}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -81,45 +121,97 @@ func (e *Executor) worker() {
 	}
 }
 
-// submit schedules a task on the pool.
-func (e *Executor) submit(task func()) { e.jobs <- task }
+// trySubmit schedules a task on the pool, or reports false after Close.
+func (e *Executor) trySubmit(task func()) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return false
+	}
+	e.jobs <- task
+	return true
+}
 
 // Workers returns the pool size.
 func (e *Executor) Workers() int { return e.workers }
 
 // Execute answers one query. With IntraQuery enabled on a supporting index
 // the query's work is split into tasks run on the worker pool; otherwise
-// it runs on the calling goroutine (the pool is for batches).
+// it runs on the calling goroutine (the pool is for batches). After Close
+// it returns a zero Result.
 func (e *Executor) Execute(q Query) Result {
-	if e.intra != nil {
-		return e.intra.ExecuteParallelOn(q, e.workers, e.submit)
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return Result{}
 	}
-	return e.idx.Execute(q)
+	idx := e.source()
+	if e.intra {
+		if p, ok := idx.(intraQueryIndex); ok {
+			// If the pool is closed mid-query the remaining tasks run on
+			// the calling goroutine; the answer is still complete.
+			return p.ExecuteParallelOn(q, e.workers, func(task func()) {
+				if !e.trySubmit(task) {
+					task()
+				}
+			})
+		}
+	}
+	return idx.Execute(q)
 }
 
 // ExecuteBatch answers every query, fanning them across the worker pool,
 // and returns results positionally aligned with qs. Results are identical
-// to calling Execute sequentially on each query.
+// to calling Execute sequentially on each query. Batches larger than
+// MaxWave are processed in waves so the amount of in-flight work stays
+// proportional to the pool, not the batch. After Close it returns zero
+// Results for every query.
 func (e *Executor) ExecuteBatch(qs []Query) []Result {
 	out := make([]Result, len(qs))
-	var done sync.WaitGroup
-	done.Add(len(qs))
-	for i, q := range qs {
-		i, q := i, q
-		e.jobs <- func() {
-			out[i] = e.idx.Execute(q)
-			done.Done()
+	for start := 0; start < len(qs); start += e.maxWave {
+		end := start + e.maxWave
+		if end > len(qs) {
+			end = len(qs)
+		}
+		if !e.runWave(qs[start:end], out[start:end]) {
+			break // closed: remaining results stay zero
 		}
 	}
-	done.Wait()
 	return out
 }
 
+// runWave fans one wave across the pool and waits for it. It reports
+// false if the Executor was closed before the whole wave was scheduled
+// (results for unscheduled queries stay zero).
+func (e *Executor) runWave(qs []Query, out []Result) bool {
+	var done sync.WaitGroup
+	ok := true
+	for i, q := range qs {
+		i, q := i, q
+		done.Add(1)
+		if !e.trySubmit(func() {
+			out[i] = e.source().Execute(q)
+			done.Done()
+		}) {
+			done.Done() // never scheduled
+			ok = false
+			break
+		}
+	}
+	done.Wait()
+	return ok
+}
+
 // Close shuts the pool down and waits for in-flight queries to finish.
-// Safe to call more than once.
+// Safe to call from multiple goroutines; every call blocks until the
+// workers have drained. Execute/ExecuteBatch afterwards are no-ops.
 func (e *Executor) Close() {
-	e.closeOnce.Do(func() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
 		close(e.jobs)
-		e.wg.Wait()
-	})
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
 }

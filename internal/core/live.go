@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/auggrid"
+	"repro/internal/gridtree"
+	"repro/internal/query"
+)
+
+// Copy-on-write maintenance (§8 serving): the variants in this file never
+// mutate their receiver, so a published index can keep serving lock-free
+// readers while a writer or a background maintainer derives the next
+// version from it. They are the building blocks of the epoch-based
+// LiveStore (internal/live): CopyWithInserts is the serialized ingest
+// step, MergedCopy and ReoptimizeRegionsCopy are the background rebuild
+// steps, and every result is published with a single atomic pointer swap.
+
+// CopyWithInserts returns a copy of t whose delta buffers additionally
+// hold rows, leaving t untouched. The copy shares the clustered column
+// data, Grid Tree, and region grids with t — only the delta containers of
+// the affected regions are replaced — so it is cheap enough to run per
+// ingest batch. The copy retains the row slices themselves (no defensive
+// copy, keeping the serialized ingest path to one allocation per row):
+// the caller must not mutate them afterwards.
+//
+// Concurrency: t may be serving concurrent readers during the call.
+// Callers must serialize all CopyWithInserts calls deriving from the same
+// lineage (successive copies may share delta backing arrays; the single-
+// writer discipline keeps every array slot written exactly once, before
+// the version that exposes it is published).
+func (t *Tsunami) CopyWithInserts(rows [][]int64) (*Tsunami, error) {
+	d := t.store.NumDims()
+	for _, row := range rows {
+		if len(row) != d {
+			return nil, fmt.Errorf("core: row has %d values, table has %d dims", len(row), d)
+		}
+	}
+	nt := &Tsunami{
+		cfg:         t.cfg,
+		store:       t.store,
+		tree:        t.tree,
+		grids:       t.grids,
+		bounds:      t.bounds,
+		stats:       t.stats,
+		numBuffered: t.numBuffered,
+	}
+	nt.deltas = make(map[int]*delta, len(t.deltas)+1)
+	for id, dl := range t.deltas {
+		nt.deltas[id] = dl
+	}
+	for _, row := range rows {
+		r := findRegionForPoint(t.tree.Root, row)
+		nd := &delta{}
+		if old := nt.deltas[r.ID]; old != nil {
+			nd.rows = old.rows
+		}
+		nd.rows = append(nd.rows, row)
+		nt.deltas[r.ID] = nd
+		nt.numBuffered++
+	}
+	return nt, nil
+}
+
+// MergedCopy returns a new index equal to t with every buffered row folded
+// into the clustered layout (see MergeDeltas), leaving t untouched so it
+// can keep serving reads for the whole — potentially long — rebuild.
+func (t *Tsunami) MergedCopy() (*Tsunami, error) {
+	// MergeDeltas only reads the old store (it emits a fresh one), so the
+	// fork can share it; the tree is deep-copied because merging widens
+	// region boxes and renumbers region rows.
+	nt := t.fork(false)
+	if err := nt.MergeDeltas(); err != nil {
+		return nil, err
+	}
+	return nt, nil
+}
+
+// ReoptimizeRegionsCopy is ReoptimizeRegions rebuilt into a copy: it
+// returns a new index whose most-drifted region grids are re-optimized
+// for the new workload (buffered rows are merged first), plus the number
+// of regions rebuilt and the wall time. t is untouched and can keep
+// serving reads throughout.
+func (t *Tsunami) ReoptimizeRegionsCopy(workload []query.Query, maxRegions int) (*Tsunami, int, float64, error) {
+	// rebuildRegion rewrites store segments in place, so the fork needs a
+	// private store. When rows are buffered, ReoptimizeRegions starts with
+	// a MergeDeltas that already replaces the fork's store with a fresh
+	// one; cloning up front would be wasted work.
+	nt := t.fork(t.numBuffered == 0)
+	n, secs, err := nt.ReoptimizeRegions(workload, maxRegions)
+	if err != nil {
+		return nil, n, secs, err
+	}
+	return nt, n, secs, nil
+}
+
+// BufferedRows returns a copy of every inserted-but-unmerged row, in
+// deterministic region order. LiveStore uses it to seed its replay log
+// when reopening from a snapshot.
+func (t *Tsunami) BufferedRows() [][]int64 {
+	if t.numBuffered == 0 {
+		return nil
+	}
+	out := make([][]int64, 0, t.numBuffered)
+	for _, r := range t.tree.Regions {
+		if d := t.deltas[r.ID]; d != nil {
+			for _, row := range d.rows {
+				out = append(out, append([]int64(nil), row...))
+			}
+		}
+	}
+	return out
+}
+
+// fork shallow-copies the index with a deep-copied Grid Tree, so the
+// mutating maintenance operations (MergeDeltas, ReoptimizeRegions) can run
+// on the fork without the live index observing region-box widening, row
+// renumbering, or grid/bounds replacement. Grids and delta buffers are
+// shared: both are replaced wholesale, never edited, by those operations.
+// cloneStore must be true if the operation writes store columns in place.
+func (t *Tsunami) fork(cloneStore bool) *Tsunami {
+	nt := &Tsunami{
+		cfg:         t.cfg,
+		store:       t.store,
+		stats:       t.stats,
+		numBuffered: t.numBuffered,
+	}
+	if cloneStore {
+		nt.store = t.store.Clone()
+	}
+	nt.tree = cloneTree(t.tree)
+	nt.grids = append([]*auggrid.Grid(nil), t.grids...)
+	nt.bounds = append([][2]int(nil), t.bounds...)
+	if t.deltas != nil {
+		nt.deltas = make(map[int]*delta, len(t.deltas))
+		for id, d := range t.deltas {
+			nt.deltas[id] = d
+		}
+	}
+	return nt
+}
+
+// cloneTree deep-copies nodes and regions. Region bounds are copied
+// (MergeDeltas widens them in place); Rows and Queries slices are shared
+// because maintenance replaces them wholesale. The build-only config of
+// the source tree is not carried over, matching Load.
+func cloneTree(tr *gridtree.Tree) *gridtree.Tree {
+	regions := make([]*gridtree.Region, len(tr.Regions))
+	for i, r := range tr.Regions {
+		regions[i] = &gridtree.Region{
+			Lo:      append([]int64(nil), r.Lo...),
+			Hi:      append([]int64(nil), r.Hi...),
+			Rows:    r.Rows,
+			Queries: r.Queries,
+			ID:      r.ID,
+		}
+	}
+	return &gridtree.Tree{
+		Root:     cloneNode(tr.Root, regions),
+		Regions:  regions,
+		NumNodes: tr.NumNodes,
+		Depth:    tr.Depth,
+		NumTypes: tr.NumTypes,
+	}
+}
+
+func cloneNode(nd *gridtree.Node, regions []*gridtree.Region) *gridtree.Node {
+	if nd.Region != nil {
+		return &gridtree.Node{Region: regions[nd.Region.ID]}
+	}
+	out := &gridtree.Node{SplitDim: nd.SplitDim, SplitVals: nd.SplitVals}
+	out.Children = make([]*gridtree.Node, len(nd.Children))
+	for i, c := range nd.Children {
+		out.Children[i] = cloneNode(c, regions)
+	}
+	return out
+}

@@ -12,8 +12,11 @@ import (
 
 // Persistence (§8): the paper notes Tsunami's techniques "are not
 // restricted to in-memory scenarios". Save serializes the full index — the
-// clustered column data, the Grid Tree, and every region grid — with
-// encoding/gob; Load reconstructs a queryable index without re-optimizing.
+// clustered column data, the Grid Tree, every region grid, and any
+// inserted-but-unmerged delta rows — with encoding/gob; Load reconstructs
+// a queryable index without re-optimizing. Save never mutates the index,
+// so a live snapshot can be taken while the index is serving readers
+// (LiveStore's periodic crash-recovery snapshots rely on this).
 
 // snapNode mirrors the Grid Tree without region payloads.
 type snapNode struct {
@@ -41,18 +44,19 @@ type snapshot struct {
 	NumTypes      int
 	Bounds        [][2]int
 	Grids         map[int]auggrid.GridSnapshot // region id -> grid; absent = scan region
+	// Deltas carries inserted-but-unmerged rows per region (format v2+;
+	// v1 snapshots were always merged before saving, so the field decodes
+	// as empty).
+	Deltas map[int][][]int64
 }
 
-const formatVersion = 1
+const formatVersion = 2
 
-// Save writes the index to w. Buffered inserts are included by value: they
-// are merged into the snapshot's clustered data first.
+// Save writes the index to w, including any buffered-but-unmerged inserts
+// as delta rows. Save does not mutate the index: it only reads, so it is
+// safe while t serves concurrent readers (but must be externally
+// synchronized with writers, like every read).
 func (t *Tsunami) Save(w io.Writer) error {
-	if t.numBuffered > 0 {
-		if err := t.MergeDeltas(); err != nil {
-			return fmt.Errorf("core: save: %w", err)
-		}
-	}
 	s := snapshot{
 		FormatVersion: formatVersion,
 		Variant:       int(t.cfg.Variant),
@@ -72,6 +76,12 @@ func (t *Tsunami) Save(w io.Writer) error {
 		s.Regions[i] = snapRegion{Lo: r.Lo, Hi: r.Hi}
 		if g := t.grids[i]; g != nil {
 			s.Grids[i] = g.Snapshot()
+		}
+	}
+	if t.numBuffered > 0 {
+		s.Deltas = make(map[int][][]int64, len(t.deltas))
+		for id, d := range t.deltas {
+			s.Deltas[id] = d.rows
 		}
 	}
 	s.Root = toSnapNode(t.tree.Root)
@@ -99,8 +109,8 @@ func Load(r io.Reader) (*Tsunami, error) {
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
-	if s.FormatVersion != formatVersion {
-		return nil, fmt.Errorf("core: load: format version %d, want %d", s.FormatVersion, formatVersion)
+	if s.FormatVersion < 1 || s.FormatVersion > formatVersion {
+		return nil, fmt.Errorf("core: load: format version %d, want 1..%d", s.FormatVersion, formatVersion)
 	}
 	store, err := colstore.FromColumns(s.Cols, s.Names)
 	if err != nil {
@@ -146,6 +156,30 @@ func Load(r io.Reader) (*Tsunami, error) {
 		}
 		g.Finalize(store, s.Bounds[i][0])
 		t.grids[i] = g
+	}
+	for id, rows := range s.Deltas {
+		if id < 0 || id >= len(s.Regions) {
+			return nil, fmt.Errorf("core: load: deltas for unknown region %d", id)
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		for _, row := range rows {
+			if len(row) != store.NumDims() {
+				return nil, fmt.Errorf("core: load: delta row has %d values, table has %d dims", len(row), store.NumDims())
+			}
+			// A row keyed under a region that doesn't contain it would be
+			// invisible to queries routed elsewhere — reject the snapshot
+			// rather than silently undercount.
+			if got := findRegionForPoint(t.tree.Root, row).ID; got != id {
+				return nil, fmt.Errorf("core: load: delta row keyed under region %d belongs to region %d", id, got)
+			}
+		}
+		if t.deltas == nil {
+			t.deltas = make(map[int]*delta, len(s.Deltas))
+		}
+		t.deltas[id] = &delta{rows: rows}
+		t.numBuffered += len(rows)
 	}
 	return t, nil
 }

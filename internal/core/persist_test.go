@@ -43,7 +43,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
-func TestSaveMergesBufferedInserts(t *testing.T) {
+func TestSaveCarriesBufferedInserts(t *testing.T) {
 	st := testutil.SmallTaxi(5000, 4)
 	work := testutil.SkewedQueries(st, 100, 5)
 	idx := Build(st, work, smallConfig(FullTsunami))
@@ -56,13 +56,32 @@ func TestSaveMergesBufferedInserts(t *testing.T) {
 	if err := idx.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
+	// Save is a pure read: the source index still holds its buffered rows
+	// unmerged (a live snapshot must not perturb the serving index).
+	if got := idx.NumBuffered(); got != 25 {
+		t.Errorf("Save mutated the index: %d rows buffered, want 25", got)
+	}
 	loaded, err := Load(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The buffered rows round-trip as deltas, still unmerged...
+	if got := loaded.NumBuffered(); got != 25 {
+		t.Errorf("loaded index has %d rows buffered, want 25", got)
+	}
 	q := query.NewCount(query.Filter{Dim: 0, Lo: 5_000_000, Hi: 5_000_000})
 	if got := loaded.Execute(q).Count; got != 25 {
 		t.Errorf("buffered inserts lost through save/load: count = %d, want 25", got)
+	}
+	// ...and merge cleanly on the restored index.
+	if err := loaded.MergeDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Execute(q).Count; got != 25 {
+		t.Errorf("merge after load lost rows: count = %d, want 25", got)
+	}
+	if loaded.Store().NumRows() != 5025 {
+		t.Errorf("rows after merge = %d, want 5025", loaded.Store().NumRows())
 	}
 }
 

@@ -1,0 +1,646 @@
+// Package live turns a built, read-optimized Tsunami index into a
+// concurrently-writable serving system — the epoch-based read-write mode
+// the paper's §8 sketches around its insert and shift extensions.
+//
+// The design is RCU-style: the current index is an immutable *core.Tsunami
+// behind an atomic pointer. Readers load the pointer and execute lock-free
+// (the read path keeps all per-query state in pooled contexts, so any
+// number of readers share one epoch). Writers go through a short serialized
+// ingest section that derives a copy-on-write successor (core.
+// CopyWithInserts shares the clustered data and grids, replacing only the
+// affected delta buffers) and publishes it with one atomic swap. A single
+// background maintenance goroutine keeps the hot path clean: when buffered
+// rows cross a threshold it folds them into a fresh clustered copy
+// (core.MergedCopy), when the served query stream drifts from the optimized
+// workload (shift.Detector) it re-optimizes the most-drifted region grids
+// into a copy (core.ReoptimizeRegionsCopy) — closing the §8 adaptivity loop
+// end to end — and it periodically snapshots the current epoch (including
+// not-yet-merged rows) for crash recovery. Every maintenance result is
+// published the same way: one atomic swap; old epochs drain as their
+// readers finish and are reclaimed by the GC.
+//
+// Nothing on the query path ever takes a lock or waits for maintenance,
+// which keeps index upkeep off the memory-bound hot loop (cf. the memory
+// bottleneck argument of PIMDAL, arXiv:2504.01948).
+package live
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/query"
+	"repro/internal/shift"
+)
+
+// Config tunes a live store; zero values take defaults.
+type Config struct {
+	// MergeThreshold is the buffered-row count that triggers a background
+	// merge into a fresh clustered copy (default 4096).
+	MergeThreshold int
+	// MaxReoptRegions caps how many region grids one shift-triggered
+	// re-optimization rebuilds (default: core's 1 + regions/10).
+	MaxReoptRegions int
+	// Shift tunes the drift detector (see shift.Config). Detection only
+	// runs when the store was opened with the optimized workload.
+	Shift shift.Config
+	// DisableShift turns shift detection off even when a workload is
+	// available.
+	DisableShift bool
+	// SnapshotInterval enables periodic crash-recovery snapshots of the
+	// current epoch — including buffered-but-unmerged rows — to
+	// SnapshotPath (0 disables).
+	SnapshotInterval time.Duration
+	// SnapshotPath is where periodic snapshots are written (atomically,
+	// via a temp file + rename). Required when SnapshotInterval > 0.
+	SnapshotPath string
+	// OnEvent, when non-nil, is called after each merge, re-optimization,
+	// snapshot, or maintenance error — usually from the maintenance
+	// goroutine, but a Flush caller emits its own merge event.
+	// Invocations are serialized, so the callback needs no locking of its
+	// own. It must not call back into the Store (except Stats).
+	OnEvent func(Event)
+}
+
+func (c *Config) fill() {
+	if c.MergeThreshold <= 0 {
+		c.MergeThreshold = 4096
+	}
+	if c.Shift.WindowSize <= 0 {
+		c.Shift.WindowSize = 256
+	}
+}
+
+// EventKind labels a maintenance event.
+type EventKind int
+
+const (
+	// EventMerge: buffered rows were folded into a fresh clustered copy.
+	EventMerge EventKind = iota
+	// EventReoptimize: drifted region grids were rebuilt for the observed
+	// workload.
+	EventReoptimize
+	// EventSnapshot: the current epoch was persisted.
+	EventSnapshot
+	// EventError: a maintenance operation failed; the previous epoch
+	// keeps serving.
+	EventError
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventMerge:
+		return "merge"
+	case EventReoptimize:
+		return "reoptimize"
+	case EventSnapshot:
+		return "snapshot"
+	case EventError:
+		return "error"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event describes one completed maintenance operation.
+type Event struct {
+	Kind  EventKind
+	Epoch uint64 // epoch published by the operation (0 for snapshots/errors)
+	// MergedRows is how many buffered rows the operation clustered.
+	MergedRows int
+	// RegionsRebuilt is how many region grids a re-optimization rebuilt.
+	RegionsRebuilt int
+	Seconds        float64
+	Err            error // non-nil only for EventError
+}
+
+// errClosed reports writes or maintenance requested after Close.
+var errClosed = errors.New("live: store is closed")
+
+// version is one published epoch: an immutable index plus how much of the
+// store's replay log its delta buffers already reflect.
+type version struct {
+	idx    *core.Tsunami
+	epoch  uint64
+	logLen int
+}
+
+// Store is an epoch-based read-write serving layer over a Tsunami index.
+//
+// Concurrency: Execute/ExecuteParallelOn/CurrentIndex/Stats may be called
+// from any number of goroutines, and never block on writers or
+// maintenance. Insert/InsertBatch may be called from any number of
+// goroutines; they serialize on a short critical section (derive + swap)
+// whose cost is proportional to the batch, not the data. All maintenance
+// runs on one background goroutine owned by the Store.
+type Store struct {
+	cfg Config
+
+	cur atomic.Pointer[version]
+
+	// mu guards ingest and epoch publication: the log, the closed flag,
+	// and the compare-free cur.Store calls (publication order = lock
+	// order). Held only for copy-on-write derivation and replay, never
+	// during merges or re-optimizations.
+	mu     sync.Mutex
+	log    [][]int64 // rows in the current epoch's delta buffers, oldest first
+	closed bool
+
+	// maintMu serializes the maintenance operations themselves (background
+	// goroutine, Flush, Snapshot), so at most one rebuild runs at a time.
+	maintMu sync.Mutex
+
+	// emitMu serializes OnEvent invocations (events are emitted from the
+	// maintenance goroutine and from Flush callers).
+	emitMu sync.Mutex
+
+	obs  chan query.Query // sampled feed of served queries to the detector
+	wake chan struct{}    // nudges maintenance when the threshold trips
+	quit chan struct{}
+	done chan struct{}
+
+	// Close is funneled through closeOnce; every caller waits on
+	// closeDone so all of them return only after the final snapshot (if
+	// configured) is on disk.
+	closeOnce sync.Once
+	closeDone chan struct{}
+	closeErr  error
+
+	// Maintenance-goroutine-only state.
+	detector  *shift.Detector
+	recent    []query.Query // ring of recently served queries
+	recentPos int
+	recentN   int
+	observed  int // queries observed since the detector was (re)built
+
+	queries       atomic.Uint64
+	inserts       atomic.Uint64
+	merges        atomic.Uint64
+	reopts        atomic.Uint64
+	snapshots     atomic.Uint64
+	droppedObs    atomic.Uint64
+	detectorTypes atomic.Int64 // mirrored from the detector for Stats
+}
+
+// Open starts serving idx. optimized is the sample workload the index was
+// built for; it seeds the shift detector's fingerprint (pass nil to serve
+// without shift detection). The Store owns idx from here on: it must not
+// be mutated by the caller anymore (reads through the Store are fine).
+func Open(idx *core.Tsunami, optimized []query.Query, cfg Config) *Store {
+	cfg.fill()
+	s := &Store{
+		cfg:       cfg,
+		wake:      make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		closeDone: make(chan struct{}),
+	}
+	// Rows already buffered in the index (e.g. restored from a snapshot
+	// taken mid-stream) seed the replay log, so the first merge accounts
+	// for them exactly like rows ingested through the Store.
+	s.log = idx.BufferedRows()
+	s.cur.Store(&version{idx: idx, epoch: 1, logLen: len(s.log)})
+	if len(optimized) > 0 && !cfg.DisableShift {
+		s.detector = shift.NewDetector(idx.Store(), optimized, cfg.Shift)
+		s.detectorTypes.Store(int64(s.detector.NumTypes()))
+		s.recent = make([]query.Query, cfg.Shift.WindowSize)
+		s.obs = make(chan query.Query, 4*cfg.Shift.WindowSize)
+	}
+	go s.maintain()
+	// A restored index may already hold a threshold's worth of buffered
+	// rows; nudge the maintainer so a read-only workload doesn't pay the
+	// delta-scan penalty forever.
+	if idx.NumBuffered() >= cfg.MergeThreshold {
+		s.wake <- struct{}{}
+	}
+	// Surface the one silent misconfiguration: an interval with no path
+	// would otherwise disable every snapshot, including the final one on
+	// Close, while the operator believes crash recovery is on.
+	if cfg.SnapshotInterval > 0 && cfg.SnapshotPath == "" {
+		s.emit(Event{Kind: EventError, Err: errors.New("live: SnapshotInterval set without SnapshotPath; snapshots are disabled")})
+	}
+	return s
+}
+
+// Recover reopens a store from a snapshot written by Snapshot (or
+// core.Tsunami.Save): clustered data, grids, and any rows that were
+// buffered but not yet merged at snapshot time.
+func Recover(r io.Reader, optimized []query.Query, cfg Config) (*Store, error) {
+	idx, err := core.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("live: recover: %w", err)
+	}
+	return Open(idx, optimized, cfg), nil
+}
+
+// Execute answers one query against the current epoch, lock-free, and
+// feeds the shift detector (sampled: observations are dropped, not
+// waited for, when the detector falls behind).
+func (s *Store) Execute(q query.Query) colstore.ScanResult {
+	v := s.cur.Load()
+	s.queries.Add(1)
+	s.observeAsync(q)
+	return v.idx.Execute(q)
+}
+
+// ExecuteParallelOn exposes the index's intra-query parallelism against
+// the current epoch (see core.Tsunami.ExecuteParallelOn), so a Store can
+// sit directly behind an Executor with IntraQuery enabled.
+func (s *Store) ExecuteParallelOn(q query.Query, workers int, submit func(task func())) colstore.ScanResult {
+	v := s.cur.Load()
+	s.queries.Add(1)
+	s.observeAsync(q)
+	return v.idx.ExecuteParallelOn(q, workers, submit)
+}
+
+func (s *Store) observeAsync(q query.Query) {
+	if s.obs == nil {
+		return
+	}
+	select {
+	case s.obs <- q:
+	default:
+		s.droppedObs.Add(1)
+	}
+}
+
+// Name implements index.Index.
+func (s *Store) Name() string { return "LiveStore[" + s.cur.Load().idx.Name() + "]" }
+
+// SizeBytes implements index.Index for the current epoch.
+func (s *Store) SizeBytes() uint64 { return s.cur.Load().idx.SizeBytes() }
+
+// Index returns the latest published epoch's index. The returned index is
+// immutable; it stays valid (and consistent) for as long as the caller
+// holds it, even across later swaps.
+func (s *Store) Index() *core.Tsunami { return s.cur.Load().idx }
+
+// CurrentIndex implements the executor's IndexSource. It returns the
+// Store itself, not the raw epoch handle: Execute resolves the current
+// epoch per call anyway, and routing through the Store keeps query
+// accounting and the shift-detector feed identical to direct Execute
+// calls (use Index for the raw epoch handle).
+func (s *Store) CurrentIndex() index.Index { return s }
+
+// Epoch returns the current epoch number; it advances by one per
+// published version (ingest batch, merge, or re-optimization).
+func (s *Store) Epoch() uint64 { return s.cur.Load().epoch }
+
+// Insert ingests one row. It becomes visible to queries as soon as Insert
+// returns.
+func (s *Store) Insert(row []int64) error { return s.InsertBatch([][]int64{row}) }
+
+// InsertBatch ingests rows as one copy-on-write step — one derived
+// version and one epoch swap for the whole batch — and returns once they
+// are visible to queries.
+func (s *Store) InsertBatch(rows [][]int64) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	// One defensive copy per row, shared by the index's delta buffers and
+	// the replay log (both treat rows as immutable once ingested).
+	copied := make([][]int64, len(rows))
+	for i, row := range rows {
+		copied[i] = append([]int64(nil), row...)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errClosed
+	}
+	v := s.cur.Load()
+	nidx, err := v.idx.CopyWithInserts(copied)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.log = append(s.log, copied...)
+	buffered := nidx.NumBuffered()
+	s.publishLocked(nidx, len(s.log))
+	s.mu.Unlock()
+
+	s.inserts.Add(uint64(len(rows)))
+	if buffered >= s.cfg.MergeThreshold {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// publishLocked swaps in idx as the next epoch. Callers hold s.mu.
+func (s *Store) publishLocked(idx *core.Tsunami, logLen int) {
+	old := s.cur.Load()
+	s.cur.Store(&version{idx: idx, epoch: old.epoch + 1, logLen: logLen})
+}
+
+// Flush synchronously folds every buffered row into a fresh clustered
+// copy and publishes it, like a threshold-triggered background merge.
+// Concurrent inserts remain buffered in the published epoch. Flush on a
+// closed store returns an error.
+func (s *Store) Flush() error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	return s.mergeLocked()
+}
+
+// Snapshot writes the current epoch — including buffered-but-unmerged
+// rows — to w. It never blocks readers or writers (Save is a pure read of
+// an immutable epoch).
+func (s *Store) Snapshot(w io.Writer) error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	if err := s.cur.Load().idx.Save(w); err != nil {
+		return err
+	}
+	s.snapshots.Add(1)
+	return nil
+}
+
+// Stats is a point-in-time summary of a live store.
+type Stats struct {
+	Epoch         uint64
+	ClusteredRows int
+	BufferedRows  int
+	// DetectorTypes is the number of fingerprinted query types (0 when
+	// shift detection is off).
+	DetectorTypes int
+
+	Queries             uint64
+	Inserts             uint64
+	Merges              uint64
+	Reoptimizations     uint64
+	Snapshots           uint64
+	DroppedObservations uint64
+}
+
+// Stats reports current counters. Safe from any goroutine.
+func (s *Store) Stats() Stats {
+	v := s.cur.Load()
+	st := Stats{
+		Epoch:               v.epoch,
+		ClusteredRows:       v.idx.Store().NumRows(),
+		BufferedRows:        v.idx.NumBuffered(),
+		Queries:             s.queries.Load(),
+		Inserts:             s.inserts.Load(),
+		Merges:              s.merges.Load(),
+		Reoptimizations:     s.reopts.Load(),
+		Snapshots:           s.snapshots.Load(),
+		DroppedObservations: s.droppedObs.Load(),
+	}
+	st.DetectorTypes = int(s.detectorTypes.Load())
+	return st
+}
+
+// Close stops ingest and maintenance and waits for the maintenance
+// goroutine to exit. If periodic snapshots are configured, a final
+// snapshot is written first; concurrent Close calls all block until it
+// is on disk. Reads against the Store remain valid after Close (they
+// serve the last published epoch).
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		close(s.quit)
+		<-s.done
+		if s.cfg.SnapshotInterval > 0 && s.cfg.SnapshotPath != "" {
+			s.closeErr = s.snapshotToPath()
+		}
+		close(s.closeDone)
+	})
+	<-s.closeDone
+	return s.closeErr
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance goroutine.
+
+func (s *Store) maintain() {
+	defer close(s.done)
+	var tick <-chan time.Time
+	if s.cfg.SnapshotInterval > 0 && s.cfg.SnapshotPath != "" {
+		t := time.NewTicker(s.cfg.SnapshotInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	var obs <-chan query.Query = s.obs // nil when shift detection is off
+	for {
+		select {
+		case <-s.quit:
+			return
+		case q := <-obs:
+			s.observe(q)
+		case <-s.wake:
+			s.runMerge()
+		case <-tick:
+			s.runSnapshot()
+		}
+	}
+}
+
+// observe feeds one served query to the detector and, periodically,
+// analyzes the window; a detected shift re-optimizes the most-drifted
+// regions for the recently observed workload.
+func (s *Store) observe(q query.Query) {
+	s.detector.Observe(q)
+	s.recent[s.recentPos] = q
+	s.recentPos = (s.recentPos + 1) % len(s.recent)
+	if s.recentN < len(s.recent) {
+		s.recentN++
+	}
+	s.observed++
+	// Analyze every few observations: Analyze is cheap relative to
+	// Observe's selectivity probes, but there is no point re-scoring the
+	// window per query.
+	if s.observed%16 != 0 {
+		return
+	}
+	if rep := s.detector.Analyze(); rep.ShiftDetected {
+		s.runReoptimize()
+	}
+}
+
+// recentWorkload snapshots the observation ring, oldest first.
+func (s *Store) recentWorkload() []query.Query {
+	out := make([]query.Query, 0, s.recentN)
+	start := s.recentPos - s.recentN
+	for i := 0; i < s.recentN; i++ {
+		out = append(out, s.recent[(start+i+len(s.recent))%len(s.recent)])
+	}
+	return out
+}
+
+func (s *Store) runMerge() {
+	s.maintMu.Lock()
+	err := s.mergeLocked()
+	s.maintMu.Unlock()
+	// A merge losing the race with Close is a normal shutdown, not an
+	// error worth reporting.
+	if err != nil && !errors.Is(err, errClosed) {
+		s.emit(Event{Kind: EventError, Err: err})
+	}
+}
+
+// mergeLocked rebuilds the clustered layout with every buffered row folded
+// in, replays rows ingested while the rebuild ran, and publishes the
+// result. Readers are never blocked; writers only during the short replay.
+func (s *Store) mergeLocked() error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return errClosed
+	}
+	v := s.cur.Load()
+	if v.idx.NumBuffered() == 0 {
+		return nil
+	}
+	start := time.Now()
+	merged, err := v.idx.MergedCopy() // long: runs against the immutable epoch
+	if err != nil {
+		return fmt.Errorf("live: merge: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed { // lost the race with Close during the rebuild
+		s.mu.Unlock()
+		return errClosed
+	}
+	// Rows ingested since v was captured are not in the merged copy's
+	// clustered data; replay them into its (private, unpublished) delta
+	// buffers before the swap.
+	tail := s.log[v.logLen:]
+	for _, row := range tail {
+		if err := merged.Insert(row); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("live: merge replay: %w", err)
+		}
+	}
+	s.log = append([][]int64(nil), tail...)
+	s.publishLocked(merged, len(s.log))
+	epoch := s.cur.Load().epoch
+	s.mu.Unlock()
+
+	s.merges.Add(1)
+	s.emit(Event{Kind: EventMerge, Epoch: epoch, MergedRows: v.idx.NumBuffered(), Seconds: time.Since(start).Seconds()})
+	return nil
+}
+
+// runReoptimize rebuilds the most-drifted region grids for the recently
+// observed workload (buffered rows are merged as part of the rebuild),
+// publishes the result, and re-fingerprints the detector on the new
+// workload so one shift triggers one re-optimization.
+func (s *Store) runReoptimize() {
+	work := s.recentWorkload()
+	if len(work) == 0 {
+		return
+	}
+	s.maintMu.Lock()
+	v := s.cur.Load()
+	start := time.Now()
+	reopt, n, _, err := v.idx.ReoptimizeRegionsCopy(work, s.cfg.MaxReoptRegions)
+	if err != nil {
+		s.maintMu.Unlock()
+		s.emit(Event{Kind: EventError, Err: fmt.Errorf("live: reoptimize: %w", err)})
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.maintMu.Unlock()
+		return
+	}
+	tail := s.log[v.logLen:]
+	for _, row := range tail {
+		if err := reopt.Insert(row); err != nil {
+			s.mu.Unlock()
+			s.maintMu.Unlock()
+			s.emit(Event{Kind: EventError, Err: fmt.Errorf("live: reoptimize replay: %w", err)})
+			return
+		}
+	}
+	s.log = append([][]int64(nil), tail...)
+	s.publishLocked(reopt, len(s.log))
+	epoch := s.cur.Load().epoch
+	s.mu.Unlock()
+	s.maintMu.Unlock()
+
+	s.reopts.Add(1)
+	// Re-fingerprint on the workload we just optimized for, over the new
+	// clustered store, and restart the window: drift is now measured
+	// against the post-shift baseline.
+	s.detector = shift.NewDetector(reopt.Store(), work, s.cfg.Shift)
+	s.detectorTypes.Store(int64(s.detector.NumTypes()))
+	s.recentN, s.recentPos, s.observed = 0, 0, 0
+	s.emit(Event{Kind: EventReoptimize, Epoch: epoch, RegionsRebuilt: n, Seconds: time.Since(start).Seconds()})
+}
+
+func (s *Store) runSnapshot() {
+	s.maintMu.Lock()
+	err := s.snapshotLocked()
+	s.maintMu.Unlock()
+	if err != nil {
+		s.emit(Event{Kind: EventError, Err: err})
+	}
+}
+
+func (s *Store) snapshotToPath() error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	return s.snapshotLocked()
+}
+
+// snapshotLocked persists the current epoch atomically: write a temp file
+// in the target directory, fsync-free rename over the destination. Crash
+// mid-write leaves the previous snapshot intact.
+func (s *Store) snapshotLocked() error {
+	start := time.Now()
+	v := s.cur.Load()
+	dir := filepath.Dir(s.cfg.SnapshotPath)
+	f, err := os.CreateTemp(dir, ".live-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("live: snapshot: %w", err)
+	}
+	if err := v.idx.Save(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("live: snapshot: %w", err)
+	}
+	// Flush to stable storage before the rename: without it a power loss
+	// can journal the rename ahead of the data blocks, destroying the
+	// previous good snapshot along with the new one.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("live: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("live: snapshot: %w", err)
+	}
+	if err := os.Rename(f.Name(), s.cfg.SnapshotPath); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("live: snapshot: %w", err)
+	}
+	s.snapshots.Add(1)
+	s.emit(Event{Kind: EventSnapshot, Seconds: time.Since(start).Seconds()})
+	return nil
+}
+
+func (s *Store) emit(ev Event) {
+	if s.cfg.OnEvent == nil {
+		return
+	}
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	s.cfg.OnEvent(ev)
+}

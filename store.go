@@ -1,0 +1,69 @@
+package tsunami
+
+import (
+	"io"
+
+	"repro/internal/live"
+)
+
+// This file exposes the live serving subsystem (internal/live): an
+// epoch-based read-write layer over a built Tsunami index. Readers resolve
+// the current immutable index through an atomic epoch handle and execute
+// lock-free; writers go through a serialized copy-on-write ingest path;
+// and a background maintenance goroutine merges buffered rows into fresh
+// clustered copies, re-optimizes drifted region grids when the shift
+// detector fires, and takes periodic crash-recovery snapshots — each
+// published with a single atomic swap while old-epoch readers drain.
+
+// LiveStore is a concurrently-writable serving layer over a Tsunami
+// index. It implements Index (reads execute against the current epoch)
+// and IndexSource (so an Executor built over it picks up epoch swaps).
+//
+// Any number of goroutines may call Execute concurrently with any number
+// of goroutines calling Insert/InsertBatch; queries never block on writes
+// or on background maintenance.
+type LiveStore = live.Store
+
+// LiveOptions configures a LiveStore.
+type LiveOptions = live.Config
+
+// LiveEvent describes one completed maintenance operation (merge,
+// re-optimization, snapshot, or error); subscribe via LiveOptions.OnEvent.
+type LiveEvent = live.Event
+
+// LiveStats is a point-in-time summary of a LiveStore.
+type LiveStats = live.Stats
+
+// Maintenance event kinds reported through LiveOptions.OnEvent.
+const (
+	LiveEventMerge      = live.EventMerge
+	LiveEventReoptimize = live.EventReoptimize
+	LiveEventSnapshot   = live.EventSnapshot
+	LiveEventError      = live.EventError
+)
+
+// NewLiveStore starts serving idx with live writes and background
+// maintenance. optimized is the sample workload the index was built for;
+// it fingerprints the workload-shift detector (pass nil to serve without
+// shift-triggered re-optimization). The LiveStore owns idx from here on:
+// don't mutate it directly anymore.
+//
+//	idx := tsunami.New(table, work, tsunami.Options{})
+//	ls := tsunami.NewLiveStore(idx, work, tsunami.LiveOptions{MergeThreshold: 10_000})
+//	defer ls.Close()
+//
+//	go func() { ls.Insert(row) }()          // writers
+//	res := ls.Execute(q)                    // readers, lock-free
+//
+//	ex := tsunami.NewExecutor(ls, tsunami.ExecutorOptions{}) // batch serving
+//	results := ex.ExecuteBatch(queries)
+func NewLiveStore(idx *TsunamiIndex, optimized []Query, o LiveOptions) *LiveStore {
+	return live.Open(idx, optimized, o)
+}
+
+// RecoverLiveStore reopens a LiveStore from a snapshot written by
+// LiveStore.Snapshot, its periodic snapshots, or TsunamiIndex.Save —
+// including rows that were buffered but not yet merged at snapshot time.
+func RecoverLiveStore(r io.Reader, optimized []Query, o LiveOptions) (*LiveStore, error) {
+	return live.Recover(r, optimized, o)
+}
