@@ -13,6 +13,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -171,6 +172,141 @@ func BenchmarkLiveMixed(b *testing.B) {
 	b.ReportMetric(float64(b.N)/secs, "reads/sec")
 	b.ReportMetric(float64(after.Inserts-before.Inserts)/secs, "writes/sec")
 	b.ReportMetric(float64(after.Merges-before.Merges)/secs, "merges/sec")
+}
+
+// BenchmarkShardedIngest measures ingest throughput against shard count:
+// concurrent writers stream row batches into a ShardedStore at 1, 2, and
+// 4 shards (plus NumCPU when distinct). Each shard has its own serialized
+// copy-on-write ingest section, so on a multi-core runner rows/sec grows
+// with shards — the acceptance target is ≥2x at 4 shards vs 1 (a
+// single-core runner can't show scaling; the absolute numbers still
+// catch regressions in the routed ingest path). Merges are disabled so
+// the numbers isolate ingest, not maintenance.
+func BenchmarkShardedIngest(b *testing.B) {
+	ds := tsunami.GenerateTaxi(30_000, 1)
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, shards := range counts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			ss, err := tsunami.NewShardedStore(ds.Store, nil,
+				tsunami.Options{OptimizerIters: 1, MaxOptQueries: 16},
+				tsunami.ShardedOptions{
+					Shards:  shards,
+					Learned: true,
+					Live:    tsunami.LiveOptions{MergeThreshold: 1 << 30},
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ss.Close()
+			const batchSize = 64
+			// At least as many writer goroutines as shards, so shard
+			// parallelism is reachable even when GOMAXPROCS is low.
+			if runtime.GOMAXPROCS(0) < shards {
+				b.SetParallelism((shards + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wr atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				w := int(wr.Add(1))
+				buf := make([]int64, ds.Store.NumDims())
+				batch := make([][]int64, batchSize)
+				for k := range batch {
+					batch[k] = make([]int64, ds.Store.NumDims())
+				}
+				for i := 0; pb.Next(); i++ {
+					for k := range batch {
+						copy(batch[k], ds.Store.Row((w*7919+i*batchSize+k)%ds.Store.NumRows(), buf))
+						batch[k][0] += int64(1 + w)
+					}
+					if err := ss.InsertBatch(batch); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "rows/sec")
+		})
+	}
+}
+
+// BenchmarkShardedMixed measures the sharded serving mode under a mixed
+// workload: parallel readers scatter-gather through the router while
+// background writers stream batches that keep every shard's own merge
+// loop busy. Compare reads/sec against BenchmarkLiveMixed: routing adds a
+// partitioner lookup per query but pruning skips whole shards, and
+// maintenance cost is split across shards.
+func BenchmarkShardedMixed(b *testing.B) {
+	ds, work := microSetup(b)
+	ss, err := tsunami.NewShardedStore(ds.Store, work,
+		tsunami.Options{OptimizerIters: 2, MaxOptQueries: 32},
+		tsunami.ShardedOptions{
+			Shards:  4,
+			Learned: true,
+			Live:    tsunami.LiveOptions{MergeThreshold: 512},
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ss.Close()
+
+	// Background writers: perturbed copies of existing rows, paced so the
+	// table grows linearly with wall time (steady maintenance pressure
+	// under the readers, not maximum ingest).
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		w := w
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			buf := make([]int64, ds.Store.NumDims())
+			rows := make([][]int64, 8)
+			for i := 0; ; i += len(rows) {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for k := range rows {
+					row := append([]int64(nil), ds.Store.Row((w*7919+i+k)%ds.Store.NumRows(), buf)...)
+					row[0]++
+					rows[k] = row
+				}
+				if err := ss.InsertBatch(rows); err != nil {
+					b.Error(err)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+
+	b.ReportAllocs()
+	before := ss.Stats() // activity during setup must not count
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			ss.Execute(work[i%len(work)])
+			i++
+		}
+	})
+	b.StopTimer()
+	after := ss.Stats()
+	close(stop)
+	writerWG.Wait()
+	secs := b.Elapsed().Seconds()
+	b.ReportMetric(float64(b.N)/secs, "reads/sec")
+	b.ReportMetric(float64(after.Inserts-before.Inserts)/secs, "writes/sec")
+	b.ReportMetric(float64(after.Merges-before.Merges)/secs, "merges/sec")
+	if q := after.Queries - before.Queries; q > 0 {
+		b.ReportMetric(float64(after.ShardsScanned-before.ShardsScanned)/float64(q), "shards/query")
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -4,10 +4,11 @@
 // Usage:
 //
 //	tsunami-bench -experiment fig7 -rows 200000
+//	tsunami-bench -experiment sharded
 //	tsunami-bench -experiment all -quick
 //
 // Experiments: tab3, tab4, fig7, fig8, fig9a, fig9b, fig10, fig11a,
-// fig11b, fig12a, fig12b, all.
+// fig11b, fig12a, fig12b, ablation, concurrency, sharded, all.
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (tab3, tab4, fig7..fig12b, ablation, concurrency, all)")
+		experiment = flag.String("experiment", "all", "experiment id (tab3, tab4, fig7..fig12b, ablation, concurrency, sharded, all)")
 		rows       = flag.Int("rows", 0, "base dataset rows (default 200000; paper used 184M-300M)")
 		perType    = flag.Int("queries-per-type", 0, "queries per query type (default 100, as in the paper)")
 		seed       = flag.Int64("seed", 42, "generator seed")

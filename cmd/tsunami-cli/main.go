@@ -21,6 +21,21 @@
 //
 //	tsunami-cli -dataset taxi -live -merge-threshold 10000 \
 //	    -snapshot /tmp/taxi.idx -snapshot-every 30s
+//
+// With -shards N the shell serves through a ShardedStore: rows are
+// partitioned across N independent LiveStore shards (-partition range
+// learns equi-depth cuts on -partition-dim; -partition hash spreads rows
+// by a mixed hash), reads are routed to the shards the partitioner cannot
+// prune, ingest to different shards runs in parallel, and
+// -snapshot-dir/-snapshot-every maintain a recoverable snapshot
+// directory. `save <dir>` writes a consistent multi-shard snapshot;
+// -load <dir> recovers one.
+//
+//	tsunami-cli -dataset taxi -shards 4 -partition range \
+//	    -snapshot-dir /tmp/taxi-shards -snapshot-every 30s
+//
+// In both serve modes SIGINT/SIGTERM shut down gracefully: ingest stops,
+// maintenance quiesces, and a final snapshot is written before exit.
 package main
 
 import (
@@ -28,8 +43,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/auggrid"
@@ -40,19 +58,28 @@ import (
 	"repro/internal/live"
 	"repro/internal/qparse"
 	"repro/internal/query"
+	"repro/internal/sharded"
 	"repro/internal/workload"
 )
 
-// session is the shell's target: a plain offline index, or the same index
-// served through a LiveStore (-live).
+// session is the shell's target: a plain offline index, the same index
+// served through a LiveStore (-live), or a ShardedStore (-shards N).
 type session struct {
-	idx  *core.Tsunami // offline mode only
-	live *live.Store   // live mode only
+	idx   *core.Tsunami  // offline mode only
+	live  *live.Store    // live mode only
+	shard *sharded.Store // sharded mode only
+
+	// shutdown quiesces whichever serving mode is active (final
+	// snapshots included); it is safe to call more than once.
+	shutdown func()
 }
 
 func (s *session) index() *core.Tsunami {
 	if s.live != nil {
 		return s.live.Index()
+	}
+	if s.shard != nil {
+		return s.shard.Shard(0).Index() // representative shard for explain/stats
 	}
 	return s.idx
 }
@@ -61,7 +88,27 @@ func (s *session) execute(q query.Query) colstore.ScanResult {
 	if s.live != nil {
 		return s.live.Execute(q)
 	}
+	if s.shard != nil {
+		return s.shard.Execute(q)
+	}
 	return s.idx.Execute(q)
+}
+
+func (s *session) insert(row []int64) error {
+	if s.live != nil {
+		return s.live.Insert(row)
+	}
+	if s.shard != nil {
+		return s.shard.Insert(row)
+	}
+	return s.idx.Insert(row)
+}
+
+func (s *session) buffered() int {
+	if s.shard != nil {
+		return s.shard.Stats().BufferedRows
+	}
+	return s.index().NumBuffered()
 }
 
 func main() {
@@ -70,89 +117,203 @@ func main() {
 		rows      = flag.Int("rows", 100_000, "rows to generate")
 		dims      = flag.Int("dims", 8, "dimensions (synthetic datasets only)")
 		seed      = flag.Int64("seed", 1, "generator seed")
-		load      = flag.String("load", "", "load a saved index instead of building one")
+		load      = flag.String("load", "", "load a saved index (file) or sharded snapshot (directory) instead of building")
 		liveMode  = flag.Bool("live", false, "serve through a LiveStore: background merge, shift-triggered reoptimization")
-		mergeAt   = flag.Int("merge-threshold", 4096, "buffered rows triggering a background merge (-live)")
+		shards    = flag.Int("shards", 0, "serve through a ShardedStore with this many shards (0 = off)")
+		partition = flag.String("partition", "range", "sharded partitioner: range (learned cuts) or hash")
+		partDim   = flag.Int("partition-dim", 0, "dimension the sharded partitioner cuts or hashes on")
+		mergeAt   = flag.Int("merge-threshold", 4096, "buffered rows triggering a background merge (-live, -shards)")
+		regionAt  = flag.Int("region-merge-threshold", 0, "per-region buffered rows for partial merges, 0 = full merges (-live, -shards)")
 		snapPath  = flag.String("snapshot", "", "periodic crash-recovery snapshot file (-live)")
-		snapEvery = flag.Duration("snapshot-every", 30*time.Second, "periodic snapshot interval (-live, needs -snapshot)")
+		snapDir   = flag.String("snapshot-dir", "", "periodic crash-recovery snapshot directory (-shards)")
+		snapEvery = flag.Duration("snapshot-every", 30*time.Second, "periodic snapshot interval (needs -snapshot or -snapshot-dir)")
 	)
 	flag.Parse()
+	if *liveMode && *shards > 0 {
+		fatal(fmt.Errorf("-live and -shards are mutually exclusive"))
+	}
+	if *partition != "range" && *partition != "hash" {
+		fatal(fmt.Errorf("unknown -partition %q (range, hash)", *partition))
+	}
+	// Reject the snapshot flag that the chosen mode would silently
+	// ignore: an operator must not believe crash recovery is on when
+	// nothing will ever be written.
+	if *shards > 0 && *snapPath != "" {
+		fatal(fmt.Errorf("-shards uses -snapshot-dir, not -snapshot"))
+	}
+	if *shards == 0 && *snapDir != "" {
+		fatal(fmt.Errorf("-snapshot-dir needs -shards (use -snapshot with -live)"))
+	}
 
-	var idx *core.Tsunami
+	liveCfg := live.Config{
+		MergeThreshold:       *mergeAt,
+		RegionMergeThreshold: *regionAt,
+	}
+	shardCfg := sharded.Config{
+		Shards:      *shards,
+		Dim:         *partDim,
+		Learned:     *partition != "hash",
+		Live:        liveCfg,
+		SnapshotDir: *snapDir,
+		OnEvent:     printShardEvent,
+	}
+	if *snapDir != "" {
+		shardCfg.Live.SnapshotInterval = *snapEvery
+	}
+
+	s := &session{shutdown: func() {}}
 	var names []string
 	var work []query.Query
 
-	if *load != "" {
+	switch {
+	case *shards > 0 && *load != "":
+		st, err := sharded.Recover(*load, nil, shardCfg)
+		if err != nil {
+			fatal(err)
+		}
+		s.shard = st
+		names = st.Shard(0).Index().Store().Names()
+		fmt.Printf("recovered sharded store: %d shards (%s), %d rows\n",
+			st.NumShards(), st.Partitioner(), st.Stats().ClusteredRows+st.Stats().BufferedRows)
+	case *shards > 0:
+		ds := generate(*dataset, *rows, *dims, *seed)
+		work = workload.ForDataset(ds, 100, *seed+1)
+		names = ds.Store.Names()
+		fmt.Printf("building %d-shard Tsunami over %s (%d rows, %d dims, %d sample queries)...\n",
+			*shards, ds.Name, ds.Rows(), ds.Dims(), len(work))
+		start := time.Now()
+		st, err := sharded.Open(ds.Store, work, buildConfig(*seed), shardCfg)
+		if err != nil {
+			fatal(err)
+		}
+		s.shard = st
+		fmt.Printf("built in %.1fs; partitioner %s; columns: %s\n",
+			time.Since(start).Seconds(), st.Partitioner(), strings.Join(names, ", "))
+	case *load != "":
 		f, err := os.Open(*load)
 		if err != nil {
 			fatal(err)
 		}
-		idx, err = core.Load(f)
+		idx, err := core.Load(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
 		}
+		s.idx = idx
 		names = idx.Store().Names()
 		fmt.Printf("loaded index: %d rows, %d dims\n", idx.Store().NumRows(), idx.Store().NumDims())
-	} else {
+	default:
 		ds := generate(*dataset, *rows, *dims, *seed)
 		work = workload.ForDataset(ds, 100, *seed+1)
 		fmt.Printf("building Tsunami over %s (%d rows, %d dims, %d sample queries)...\n",
 			ds.Name, ds.Rows(), ds.Dims(), len(work))
 		start := time.Now()
-		idx = core.Build(ds.Store, work, core.Config{
-			GridTree: gridtree.Config{MaxNodes: 64},
-			Grid: auggrid.OptimizeConfig{
-				Eval:     auggrid.EvalConfig{SampleSize: 2048, MaxQueries: 64, Seed: *seed},
-				MaxCells: 1 << 16,
-				MaxIters: 4,
-				Seed:     *seed,
-			},
-		})
-		names = idx.Store().Names()
+		s.idx = core.Build(ds.Store, work, buildConfig(*seed))
+		names = s.idx.Store().Names()
 		fmt.Printf("built in %.1fs; columns: %s\n", time.Since(start).Seconds(), strings.Join(names, ", "))
 	}
 
-	s := &session{idx: idx}
 	if *liveMode {
-		cfg := live.Config{
-			MergeThreshold: *mergeAt,
-			OnEvent: func(ev live.Event) {
-				switch ev.Kind {
-				case live.EventMerge:
-					fmt.Printf("\n[live] merged %d rows in %.2fs (epoch %d)\n> ", ev.MergedRows, ev.Seconds, ev.Epoch)
-				case live.EventReoptimize:
-					fmt.Printf("\n[live] workload shift: re-optimized %d regions in %.2fs (epoch %d)\n> ", ev.RegionsRebuilt, ev.Seconds, ev.Epoch)
-				case live.EventSnapshot:
-					fmt.Printf("\n[live] snapshot written in %.2fs\n> ", ev.Seconds)
-				case live.EventError:
-					fmt.Printf("\n[live] maintenance error: %v\n> ", ev.Err)
-				}
-			},
-		}
+		cfg := liveCfg
+		cfg.OnEvent = printLiveEvent
 		if *snapPath != "" {
 			cfg.SnapshotPath = *snapPath
 			cfg.SnapshotInterval = *snapEvery
 		}
 		// A loaded index has no sample workload to fingerprint, so shift
 		// detection only runs for freshly built indexes.
-		s = &session{live: live.Open(idx, work, cfg)}
-		defer s.live.Close()
+		s.live = live.Open(s.idx, work, cfg)
+		s.idx = nil
 		fmt.Printf("live serving: merge threshold %d, shift detection %v\n",
 			*mergeAt, s.live.Stats().DetectorTypes > 0)
 	}
-	fmt.Println(`type "help" for commands`)
 
+	// Graceful shutdown for the serving modes: stop ingest, quiesce
+	// maintenance, write the final snapshot(s), then exit. Ctrl-C on a
+	// plain offline shell just exits.
+	var quiesce sync.Once
+	switch {
+	case s.live != nil:
+		ls := s.live
+		s.shutdown = func() {
+			quiesce.Do(func() {
+				fmt.Println("shutting down: quiescing maintenance...")
+				if err := ls.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "tsunami-cli: final snapshot:", err)
+				}
+			})
+		}
+	case s.shard != nil:
+		st := s.shard
+		s.shutdown = func() {
+			quiesce.Do(func() {
+				fmt.Println("shutting down: quiescing shard maintenance...")
+				if err := st.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "tsunami-cli: final snapshots:", err)
+				}
+			})
+		}
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println()
+		s.shutdown()
+		os.Exit(0)
+	}()
+
+	fmt.Println(`type "help" for commands`)
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line != "" {
 			if quit := eval(s, names, line); quit {
+				s.shutdown()
 				return
 			}
 		}
 		fmt.Print("> ")
+	}
+	s.shutdown()
+}
+
+func buildConfig(seed int64) core.Config {
+	return core.Config{
+		GridTree: gridtree.Config{MaxNodes: 64},
+		Grid: auggrid.OptimizeConfig{
+			Eval:     auggrid.EvalConfig{SampleSize: 2048, MaxQueries: 64, Seed: seed},
+			MaxCells: 1 << 16,
+			MaxIters: 4,
+			Seed:     seed,
+		},
+	}
+}
+
+func printLiveEvent(ev live.Event) {
+	switch ev.Kind {
+	case live.EventMerge:
+		fmt.Printf("\n[live] merged %d rows in %.2fs (epoch %d)\n> ", ev.MergedRows, ev.Seconds, ev.Epoch)
+	case live.EventReoptimize:
+		fmt.Printf("\n[live] workload shift: re-optimized %d regions in %.2fs (epoch %d)\n> ", ev.RegionsRebuilt, ev.Seconds, ev.Epoch)
+	case live.EventSnapshot:
+		fmt.Printf("\n[live] snapshot written in %.2fs\n> ", ev.Seconds)
+	case live.EventError:
+		fmt.Printf("\n[live] maintenance error: %v\n> ", ev.Err)
+	}
+}
+
+func printShardEvent(ev sharded.Event) {
+	switch ev.Kind {
+	case live.EventMerge:
+		fmt.Printf("\n[shard %d] merged %d rows in %.2fs (epoch %d)\n> ", ev.Shard, ev.MergedRows, ev.Seconds, ev.Epoch)
+	case live.EventReoptimize:
+		fmt.Printf("\n[shard %d] workload shift: re-optimized %d regions in %.2fs (epoch %d)\n> ", ev.Shard, ev.RegionsRebuilt, ev.Seconds, ev.Epoch)
+	case live.EventSnapshot:
+		fmt.Printf("\n[shard %d] snapshot written in %.2fs\n> ", ev.Shard, ev.Seconds)
+	case live.EventError:
+		fmt.Printf("\n[shard %d] maintenance error: %v\n> ", ev.Shard, ev.Err)
 	}
 }
 
@@ -168,9 +329,9 @@ func eval(s *session, names []string, line string) bool {
   sum <col> <pred>...    SUM(col)
   explain <pred>...      show which regions/cells the query touches
   stats                  index structure statistics (Tab 4 of the paper)
-  insert v1,v2,...       add a row (live: visible immediately, merged in background)
+  insert v1,v2,...       add a row (live/sharded: visible immediately, merged in background)
   merge                  fold buffered rows into the clustered layout now
-  save <file>            persist the index (incl. buffered rows)
+  save <file|dir>        persist the index (sharded: a snapshot directory)
   quit
 `)
 	case "stats":
@@ -185,6 +346,19 @@ func eval(s *session, names []string, line string) bool {
 			fmt.Printf("live: epoch %d, %d clustered + %d buffered rows, %d queries, %d inserts, %d merges, %d reoptimizations, %d snapshots\n",
 				ls.Epoch, ls.ClusteredRows, ls.BufferedRows, ls.Queries, ls.Inserts, ls.Merges, ls.Reoptimizations, ls.Snapshots)
 		}
+		if s.shard != nil {
+			ss := s.shard.Stats()
+			fanout := 0.0
+			if ss.Queries > 0 {
+				fanout = float64(ss.ShardsScanned) / float64(ss.Queries)
+			}
+			fmt.Printf("sharded: %d shards (%s), %d clustered + %d buffered rows, %d queries (fan-out %.2f, %d shard scans pruned), %d inserts, %d merges, %d snapshots\n",
+				ss.Shards, ss.Partitioner, ss.ClusteredRows, ss.BufferedRows, ss.Queries, fanout, ss.ShardsPruned, ss.Inserts, ss.Merges, ss.Snapshots)
+			for i, ls := range ss.PerShard {
+				fmt.Printf("  shard %d: epoch %d, %d clustered + %d buffered rows, %d queries\n",
+					i, ls.Epoch, ls.ClusteredRows, ls.BufferedRows, ls.Queries)
+			}
+		}
 	case "insert":
 		rest := strings.TrimSpace(line[len("insert"):])
 		parts := strings.Split(rest, ",")
@@ -197,34 +371,43 @@ func eval(s *session, names []string, line string) bool {
 			}
 			row = append(row, v)
 		}
-		var err error
-		if s.live != nil {
-			err = s.live.Insert(row)
-		} else {
-			err = s.idx.Insert(row)
-		}
-		if err != nil {
+		if err := s.insert(row); err != nil {
 			fmt.Println(err)
 			return false
 		}
-		fmt.Printf("inserted (%d pending merge)\n", s.index().NumBuffered())
+		fmt.Printf("inserted (%d pending merge)\n", s.buffered())
 	case "merge":
 		start := time.Now()
 		var err error
-		if s.live != nil {
+		switch {
+		case s.live != nil:
 			err = s.live.Flush()
-		} else {
+		case s.shard != nil:
+			err = s.shard.Flush()
+		default:
 			err = s.idx.MergeDeltas()
 		}
 		if err != nil {
 			fmt.Println(err)
 			return false
 		}
-		fmt.Printf("merged in %v; table now %d rows\n", time.Since(start), s.index().Store().NumRows())
+		if s.shard != nil {
+			fmt.Printf("merged in %v; shards now hold %d rows\n", time.Since(start), s.shard.Stats().ClusteredRows)
+		} else {
+			fmt.Printf("merged in %v; table now %d rows\n", time.Since(start), s.index().Store().NumRows())
+		}
 	case "save":
 		fields := strings.Fields(line)
 		if len(fields) != 2 {
-			fmt.Println("usage: save <file>")
+			fmt.Println("usage: save <file|dir>")
+			return false
+		}
+		if s.shard != nil {
+			if err := s.shard.Save(fields[1]); err != nil {
+				fmt.Println(err)
+				return false
+			}
+			fmt.Printf("saved %d-shard snapshot to %s\n", s.shard.NumShards(), fields[1])
 			return false
 		}
 		f, err := os.Create(fields[1])
@@ -257,7 +440,7 @@ func eval(s *session, names []string, line string) bool {
 		res := s.execute(q)
 		elapsed := time.Since(start)
 		if verb == "sum" {
-			fmt.Printf("sum=%d count=%d (scanned %d rows in %v)\n", res.Sum, res.Count, res.PointsScanned, elapsed)
+			fmt.Printf("sum=%d count=%d avg=%.2f (scanned %d rows in %v)\n", res.Sum, res.Count, res.Avg(), res.PointsScanned, elapsed)
 		} else {
 			fmt.Printf("count=%d (scanned %d rows in %v)\n", res.Count, res.PointsScanned, elapsed)
 		}

@@ -11,16 +11,23 @@ import (
 // intraQueryIndex is implemented by indexes that can split one query's work
 // across multiple scheduled tasks and merge the partial results.
 // TsunamiIndex implements it by spreading the query's Grid Tree regions
-// over the submitted tasks, which the Executor runs on its worker pool.
+// over the submitted tasks, which the Executor runs on its worker pool;
+// ShardedStore implements it by scattering the query's unpruned shards the
+// same way and gathering their partial aggregates — so one Executor serves
+// both granularities of scatter-gather without a second scheduler. Tasks
+// must never block on other submitted tasks (both implementations drain a
+// shared cursor instead), which is what makes sharing one pool
+// deadlock-free.
 type intraQueryIndex interface {
 	ExecuteParallelOn(q query.Query, workers int, submit func(task func())) colstore.ScanResult
 }
 
 // IndexSource yields the index an Executor executes against, resolved per
 // query, so sources that swap indexes over time (a LiveStore publishing
-// background merges and re-optimizations) take effect without restarting
-// the pool. Every returned index must honor the Index read-path
-// concurrency contract.
+// background merges and re-optimizations, a ShardedStore whose shards
+// each publish their own epochs) take effect without restarting the pool.
+// Every returned index must honor the Index read-path concurrency
+// contract.
 type IndexSource interface {
 	CurrentIndex() Index
 }
@@ -31,8 +38,9 @@ type ExecutorOptions struct {
 	// Workers is the size of the worker pool (default runtime.NumCPU()).
 	Workers int
 	// IntraQuery additionally splits each single Execute call across the
-	// pool when the index supports it (TsunamiIndex does, by region).
-	// Batch execution always parallelizes across queries regardless.
+	// pool when the index supports it (TsunamiIndex does, by region;
+	// ShardedStore does, by shard — scatter-gather). Batch execution
+	// always parallelizes across queries regardless.
 	IntraQuery bool
 	// MaxWave caps how many batch queries are in flight at once: large
 	// ExecuteBatch calls are split into waves of this size so in-flight

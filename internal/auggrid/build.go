@@ -220,6 +220,24 @@ func (g *Grid) Finalize(st *colstore.Store, start int) {
 	}
 }
 
+// Rebase returns a copy of a finalized grid bound to st with its physical
+// segment starting at start. The segment's rows must be identical to the
+// ones g was finalized over, in the same order — Rebase only rebinds the
+// store pointer and shifts cell offsets, so a partial merge can carry an
+// untouched region's grid into a rewritten store without re-sorting the
+// region (layout, boundaries, and mappings are shared with g, which keeps
+// serving its own store unchanged).
+func (g *Grid) Rebase(st *colstore.Store, start int) *Grid {
+	ng := *g
+	ng.offsets = make([]int, len(g.offsets))
+	for i, o := range g.offsets {
+		ng.offsets[i] = o - g.start + start
+	}
+	ng.store = st
+	ng.start = start
+	return &ng
+}
+
 // gridDimsTopological returns the grid dims (not mapped, not the sort dim)
 // ordered with independents first, then conditionals, so bases always
 // precede their dependents in stride order.

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	tsunami "repro"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/live"
+	"repro/internal/sharded"
+	"repro/internal/workload"
+)
+
+// Sharded reports the ShardedStore's two claims on the taxi dataset:
+// ingest throughput scaling with shard count (writers to different shards
+// never share a copy-on-write section, so rows/sec should grow with
+// shards until cores run out), and scatter-gather reads with router
+// pruning (range queries on the learned partition dimension touch few
+// shards). The paper's single-node design (§8) has one serialized insert
+// path; this experiment measures the reproduction's way past it.
+func Sharded(w io.Writer, o Options) {
+	o = o.fill()
+	section(w, "Sharded", "ShardedStore ingest scaling and scatter-gather reads")
+	ds := datasets.Taxi(o.Rows, o.Seed+1)
+	work := workload.ForDataset(ds, o.QueriesPerType, o.Seed+101)
+
+	// Ingest scaling: same writer fleet, growing shard counts. Merges are
+	// disabled (huge threshold) so the numbers isolate the serialized
+	// copy-on-write ingest section that sharding splits.
+	writers := runtime.NumCPU()
+	if writers < 4 {
+		writers = 4
+	}
+	t := newTable("shards", "ingest (rows/s)", "speedup vs 1 shard")
+	base := 0.0
+	for _, n := range dedupInts([]int{1, 2, 4, runtime.NumCPU()}) {
+		st, err := sharded.Open(ds.Store, work, o.tsunamiConfig(core.FullTsunami), sharded.Config{
+			Shards:  n,
+			Learned: true,
+			Live:    live.Config{MergeThreshold: 1 << 30},
+		})
+		if err != nil {
+			fmt.Fprintf(w, "BUILD FAILURE at %d shards: %v\n", n, err)
+			return
+		}
+		rps := ingestThroughput(st, ds, writers)
+		st.Close()
+		if base == 0 {
+			base = rps
+		}
+		t.add(fmt.Sprintf("%d", n), fmt.Sprintf("%.0f", rps), fmt.Sprintf("%.2fx", rps/base))
+	}
+	t.print(w)
+
+	// Scatter-gather reads: the full workload through an Executor over a
+	// 4-shard store, with the router pruning shards per query.
+	st, err := sharded.Open(ds.Store, work, o.tsunamiConfig(core.FullTsunami), sharded.Config{Shards: 4, Learned: true})
+	if err != nil {
+		fmt.Fprintf(w, "BUILD FAILURE: %v\n", err)
+		return
+	}
+	defer st.Close()
+	if err := checkCorrect(st, ds.Store, work); err != nil {
+		fmt.Fprintf(w, "CORRECTNESS FAILURE: %v\n", err)
+		return
+	}
+	ex := tsunami.NewExecutorSource(st, tsunami.ExecutorOptions{Workers: runtime.NumCPU()})
+	qps := batchThroughput(ex, work)
+	ex.Close()
+	s := st.Stats()
+	fanout := float64(s.ShardsScanned) / float64(s.Queries)
+	fmt.Fprintf(w, "scatter-gather (4 shards, %d workers): %.0f q/s, mean fan-out %.2f shards (%.0f%% of shard scans pruned)\n",
+		runtime.NumCPU(), qps, fanout, 100*float64(s.ShardsPruned)/float64(s.ShardsScanned+s.ShardsPruned))
+}
+
+// ingestThroughput streams perturbed copies of existing rows from a fixed
+// writer fleet into st for a short window and reports rows/sec.
+func ingestThroughput(st *sharded.Store, ds *datasets.Dataset, writers int) float64 {
+	const (
+		dur       = 200 * time.Millisecond
+		batchSize = 64
+	)
+	// Warm-up plus steady state: writers reuse their batch buffers (the
+	// serving layer copies rows defensively on ingest).
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wr := 0; wr < writers; wr++ {
+		wr := wr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]int64, ds.Store.NumDims())
+			batch := make([][]int64, batchSize)
+			for k := range batch {
+				batch[k] = make([]int64, ds.Store.NumDims())
+			}
+			for i := 0; time.Since(start) < dur; i++ {
+				for k := range batch {
+					copy(batch[k], ds.Store.Row((wr*7919+i*batchSize+k)%ds.Store.NumRows(), buf))
+					batch[k][0] += int64(1 + wr)
+				}
+				if err := st.InsertBatch(batch); err != nil {
+					return
+				}
+				total.Add(batchSize)
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(total.Load()) / time.Since(start).Seconds()
+}

@@ -161,11 +161,24 @@ type ScanResult struct {
 	PointsScanned uint64
 }
 
-// Add accumulates another result into r.
+// Add accumulates another result into r. Because a result carries the
+// sum+count pair, partial aggregates from disjoint scans (region splits,
+// shard scatter-gather) merge exactly — including AVG, which is derived
+// from the merged pair (see Avg), never averaged across partials.
 func (r *ScanResult) Add(o ScanResult) {
 	r.Count += o.Count
 	r.Sum += o.Sum
 	r.PointsScanned += o.PointsScanned
+}
+
+// Avg returns the mean of the aggregated dimension over matching rows
+// (Sum/Count), or 0 when nothing matched. Only meaningful for SUM
+// queries, whose results carry the sum alongside the match count.
+func (r ScanResult) Avg() float64 {
+	if r.Count == 0 {
+		return 0
+	}
+	return float64(r.Sum) / float64(r.Count)
 }
 
 // ScanRange scans physical rows [start, end) against q and accumulates the

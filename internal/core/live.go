@@ -66,14 +66,29 @@ func (t *Tsunami) CopyWithInserts(rows [][]int64) (*Tsunami, error) {
 // into the clustered layout (see MergeDeltas), leaving t untouched so it
 // can keep serving reads for the whole — potentially long — rebuild.
 func (t *Tsunami) MergedCopy() (*Tsunami, error) {
-	// MergeDeltas only reads the old store (it emits a fresh one), so the
-	// fork can share it; the tree is deep-copied because merging widens
+	nt, _, err := t.MergedCopyOver(0)
+	return nt, err
+}
+
+// MergedCopyOver is MergedCopy with a per-region threshold (see
+// MergeDeltasOver): only regions whose delta buffer holds at least
+// minPerRegion rows are folded; the rest stay buffered in the copy. It
+// returns the copy and how many rows were folded. When nothing crosses
+// the threshold the fold count is zero and the returned copy is t itself
+// (unchanged, still valid to serve).
+func (t *Tsunami) MergedCopyOver(minPerRegion int) (*Tsunami, int, error) {
+	// MergeDeltasOver only reads the old store (it emits a fresh one), so
+	// the fork can share it; the tree is deep-copied because merging widens
 	// region boxes and renumbers region rows.
 	nt := t.fork(false)
-	if err := nt.MergeDeltas(); err != nil {
-		return nil, err
+	n, err := nt.MergeDeltasOver(minPerRegion)
+	if err != nil {
+		return nil, 0, err
 	}
-	return nt, nil
+	if n == 0 {
+		return t, 0, nil
+	}
+	return nt, n, nil
 }
 
 // ReoptimizeRegionsCopy is ReoptimizeRegions rebuilt into a copy: it

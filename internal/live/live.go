@@ -46,6 +46,17 @@ type Config struct {
 	// MergeThreshold is the buffered-row count that triggers a background
 	// merge into a fresh clustered copy (default 4096).
 	MergeThreshold int
+	// RegionMergeThreshold, when > 0, makes threshold-triggered merges
+	// partial: only regions whose own delta buffer holds at least this
+	// many rows are folded into the clustered layout; colder regions keep
+	// their rows buffered (and scanned alongside) until they cross it.
+	// The store copy is still O(table), but the per-region sort and grid
+	// rebuild — the dominant merge cost — is paid only for the hot
+	// regions, cutting maintenance on skewed ingest. If no region
+	// qualifies while the global MergeThreshold is exceeded, the merge
+	// falls back to folding everything, keeping delta scans bounded on
+	// perfectly uniform ingest. Flush always folds everything.
+	RegionMergeThreshold int
 	// MaxReoptRegions caps how many region grids one shift-triggered
 	// re-optimization rebuilds (default: core's 1 + regions/10).
 	MaxReoptRegions int
@@ -350,7 +361,7 @@ func (s *Store) publishLocked(idx *core.Tsunami, logLen int) {
 func (s *Store) Flush() error {
 	s.maintMu.Lock()
 	defer s.maintMu.Unlock()
-	return s.mergeLocked()
+	return s.mergeLocked(0)
 }
 
 // Snapshot writes the current epoch — including buffered-but-unmerged
@@ -482,7 +493,7 @@ func (s *Store) recentWorkload() []query.Query {
 
 func (s *Store) runMerge() {
 	s.maintMu.Lock()
-	err := s.mergeLocked()
+	err := s.mergeLocked(s.cfg.RegionMergeThreshold)
 	s.maintMu.Unlock()
 	// A merge losing the race with Close is a normal shutdown, not an
 	// error worth reporting.
@@ -491,10 +502,13 @@ func (s *Store) runMerge() {
 	}
 }
 
-// mergeLocked rebuilds the clustered layout with every buffered row folded
-// in, replays rows ingested while the rebuild ran, and publishes the
-// result. Readers are never blocked; writers only during the short replay.
-func (s *Store) mergeLocked() error {
+// mergeLocked rebuilds the clustered layout with buffered rows folded in,
+// replays rows ingested while the rebuild ran, and publishes the result.
+// minPerRegion > 0 folds only regions whose delta buffers crossed that
+// per-region threshold (falling back to a full fold when none did, so the
+// global threshold still bounds delta scans); 0 folds everything. Readers
+// are never blocked; writers only during the short replay.
+func (s *Store) mergeLocked(minPerRegion int) error {
 	s.mu.Lock()
 	closed := s.closed
 	s.mu.Unlock()
@@ -506,9 +520,21 @@ func (s *Store) mergeLocked() error {
 		return nil
 	}
 	start := time.Now()
-	merged, err := v.idx.MergedCopy() // long: runs against the immutable epoch
+	// Long: runs against the immutable epoch.
+	merged, folded, err := v.idx.MergedCopyOver(minPerRegion)
 	if err != nil {
 		return fmt.Errorf("live: merge: %w", err)
+	}
+	if folded == 0 {
+		// Nothing crossed the per-region bar; fold everything so buffered
+		// rows can't accumulate past MergeThreshold indefinitely.
+		merged, folded, err = v.idx.MergedCopyOver(0)
+		if err != nil {
+			return fmt.Errorf("live: merge: %w", err)
+		}
+		if folded == 0 {
+			return nil // raced with another merge; nothing left to fold
+		}
 	}
 	s.mu.Lock()
 	if s.closed { // lost the race with Close during the rebuild
@@ -531,7 +557,7 @@ func (s *Store) mergeLocked() error {
 	s.mu.Unlock()
 
 	s.merges.Add(1)
-	s.emit(Event{Kind: EventMerge, Epoch: epoch, MergedRows: v.idx.NumBuffered(), Seconds: time.Since(start).Seconds()})
+	s.emit(Event{Kind: EventMerge, Epoch: epoch, MergedRows: folded, Seconds: time.Since(start).Seconds()})
 	return nil
 }
 

@@ -1,0 +1,185 @@
+package sharded
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// On-disk layout of a sharded snapshot directory:
+//
+//	MANIFEST        gob manifest: format version + partitioner spec
+//	shard-0000.snap per-shard core format-v2 snapshot (clustered data,
+//	shard-0001.snap grids, and buffered-but-unmerged delta rows)
+//	...
+//
+// Every file is written atomically (temp file, fsync, rename), so a crash
+// mid-write leaves the previous snapshot intact. The manifest is written
+// last on Save: a directory with a manifest always has a full shard set.
+
+const manifestVersion = 1
+
+// manifestName is the directory's partitioner + layout descriptor.
+const manifestName = "MANIFEST"
+
+type manifest struct {
+	FormatVersion int
+	Spec          Spec
+}
+
+// shardFile names shard i's snapshot file in dir.
+func shardFile(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.snap", i))
+}
+
+// Save writes a mutually consistent snapshot of every shard to dir: one
+// manifest plus one format-v2 snapshot per shard. The cut is taken under
+// the ingest gate — writers block for the few pointer loads it takes to
+// capture every shard's current epoch, never for the serialization — so
+// no insert batch is split across the snapshot. Readers are never
+// blocked. Safe to call while serving, and after Close.
+func (s *Store) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sharded: save: %w", err)
+	}
+	// The consistent cut: with the gate held exclusively there are no
+	// in-flight batches, so the captured epochs agree on every batch.
+	s.mu.Lock()
+	handles := make([]*core.Tsunami, len(s.shards))
+	for i, sh := range s.shards {
+		handles[i] = sh.Index()
+	}
+	s.mu.Unlock()
+
+	errs := make([]error, len(handles))
+	var wg sync.WaitGroup
+	for i, idx := range handles {
+		i, idx := i, idx
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := writeAtomic(shardFile(dir, i), idx.Save); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return fmt.Errorf("sharded: save: %w", err)
+	}
+	return writeManifest(dir, s.parts.Spec())
+}
+
+// Recover reopens a sharded store from a snapshot directory written by
+// Save (or assembled by the per-shard snapshot loops under SnapshotDir):
+// the manifest reconstructs the partitioner, each shard file reloads its
+// index — buffered rows included — and serving resumes. workload seeds
+// each shard's shift detector (nil disables detection), as in Open.
+// cfg.Partition/Shards/Dim/Learned are ignored: the manifest decides.
+func Recover(dir string, workload []query.Query, cfg Config) (*Store, error) {
+	if cfg.Live.SnapshotPath != "" {
+		return nil, errors.New("sharded: set Config.SnapshotDir, not Live.SnapshotPath (shards derive their own files)")
+	}
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := m.Spec.Partitioner()
+	if err != nil {
+		return nil, fmt.Errorf("sharded: recover: %w", err)
+	}
+	cfg.Partition = parts
+	cfg.fill()
+
+	idxs := make([]*core.Tsunami, parts.NumShards())
+	errs := make([]error, len(idxs))
+	var wg sync.WaitGroup
+	for i := range idxs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, err := os.Open(shardFile(dir, i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer f.Close()
+			idxs[i], errs[i] = core.Load(f)
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, fmt.Errorf("sharded: recover: %w", err)
+	}
+	return openShards(parts, idxs, workload, cfg)
+}
+
+// writeManifest atomically writes dir's manifest.
+func writeManifest(dir string, spec Spec) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sharded: manifest: %w", err)
+	}
+	m := manifest{FormatVersion: manifestVersion, Spec: spec}
+	err := writeAtomic(filepath.Join(dir, manifestName), func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(&m)
+	})
+	if err != nil {
+		return fmt.Errorf("sharded: manifest: %w", err)
+	}
+	return nil
+}
+
+// readManifest loads and validates dir's manifest.
+func readManifest(dir string) (*manifest, error) {
+	f, err := os.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("sharded: recover: %w", err)
+	}
+	defer f.Close()
+	var m manifest
+	if err := gob.NewDecoder(f).Decode(&m); err != nil {
+		return nil, fmt.Errorf("sharded: recover: bad manifest: %w", err)
+	}
+	if m.FormatVersion < 1 || m.FormatVersion > manifestVersion {
+		return nil, fmt.Errorf("sharded: recover: manifest version %d, want 1..%d", m.FormatVersion, manifestVersion)
+	}
+	return &m, nil
+}
+
+// writeAtomic writes via a temp file in the target's directory, fsyncs,
+// and renames over the destination, so a crash mid-write cannot destroy
+// an existing good file.
+func writeAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}

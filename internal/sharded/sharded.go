@@ -1,0 +1,585 @@
+// Package sharded partitions a table across N independent LiveStore
+// shards, turning the single-writer serving mode into one that scales
+// ingest with shard count and serves reads by scatter-gather.
+//
+// Rows are assigned to shards by a pluggable Partitioner — a mixed hash
+// of one dimension by default (balanced, no tuning), or a learned
+// range partitioning of the clustered dimension (LearnRange) that keeps
+// range queries on that dimension inside few shards. Each shard is a
+// complete LiveStore: its own epoch chain, copy-on-write ingest path,
+// background merge, shift detector, and snapshot loop. Because the
+// serialized section of an insert is per shard, writers to different
+// shards never contend — the ingest bottleneck PR 2 left behind splits N
+// ways, the same way NDN-DPDK scales forwarding by partitioning work
+// across independent lock-free workers.
+//
+// Reads are routed: the partitioner prunes shards whose key range cannot
+// intersect the query's filters, the survivors execute independently, and
+// the partial aggregates merge (COUNT and SUM are sums; AVG ships as a
+// sum+count pair in ScanResult, so it merges exactly too). Store
+// implements the executor's intra-query interface, so an Executor with
+// IntraQuery enabled scatters the surviving shards across its worker pool
+// and gathers the partials — scatter-gather through the existing pool,
+// no second scheduler.
+//
+// Consistency: each shard's reads are epoch-consistent and each batch is
+// atomic within a shard, but a batch spanning shards becomes visible
+// shard by shard — a concurrent reader can observe a cross-shard batch
+// partially applied. Save takes a write-blocking cut across all shards
+// (no batch is ever split across a snapshot), producing one manifest plus
+// per-shard v2 snapshots that Recover reassembles.
+package sharded
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/live"
+	"repro/internal/query"
+)
+
+// Config tunes a sharded store; zero values take defaults.
+type Config struct {
+	// Shards is the shard count (default runtime.NumCPU(), capped at 8).
+	// Ignored when Partition is set.
+	Shards int
+	// Dim is the dimension the default partitioners cut on (default 0).
+	Dim int
+	// Learned selects learned range partitioning on Dim (equi-depth cuts
+	// from the data, strong pruning for range filters on Dim) instead of
+	// the default hash partitioning.
+	Learned bool
+	// Partition overrides Shards/Dim/Learned with a custom partitioner.
+	Partition Partitioner
+	// Live is the per-shard serving configuration (merge thresholds,
+	// shift detection, snapshot interval). SnapshotPath must be unset —
+	// shards derive their snapshot files from SnapshotDir.
+	Live live.Config
+	// SnapshotDir, when set, holds the store's manifest and per-shard
+	// snapshot files: a full consistent snapshot is written on open, each
+	// shard's periodic snapshot loop (Live.SnapshotInterval) refreshes
+	// its own file, and Close writes the final state — so the directory
+	// is recoverable at every point in the store's life. Save writes a
+	// mutually consistent cut to any directory on demand.
+	SnapshotDir string
+	// OnEvent, when non-nil, receives every shard's maintenance events
+	// tagged with the shard id. Invocations are serialized across shards.
+	// It overrides Live.OnEvent.
+	OnEvent func(Event)
+}
+
+func (c *Config) fill() {
+	if c.Partition != nil {
+		c.Shards = c.Partition.NumShards()
+	} else if c.Shards <= 0 {
+		c.Shards = runtime.NumCPU()
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
+}
+
+// Event is one shard's maintenance event.
+type Event struct {
+	Shard int
+	live.Event
+}
+
+// errClosed reports writes after Close.
+var errClosed = errors.New("sharded: store is closed")
+
+// Store serves one logical table from N independent LiveStore shards.
+//
+// Concurrency: Execute/ExecuteParallelOn/Stats may be called from any
+// number of goroutines and never block on writers or maintenance.
+// Insert/InsertBatch may be called from any number of goroutines; batches
+// to different shards proceed fully in parallel, and concurrent batches
+// to one shard serialize only on that shard's short copy-on-write
+// section. Save briefly blocks writers (not readers) to cut a mutually
+// consistent snapshot.
+type Store struct {
+	parts  Partitioner
+	shards []*live.Store
+	dims   int // table dimensionality, checked before rows reach the partitioner
+
+	// shardFinals records that each shard's own Close writes its final
+	// snapshot into snapshotDir (periodic snapshots configured), so
+	// Store.Close need not re-serialize everything with Save.
+	shardFinals bool
+
+	// mu is the ingest gate: InsertBatch holds it shared for the whole
+	// batch, Save and Close hold it exclusively — so a snapshot cut never
+	// splits a batch across shards and no write lands after Close.
+	mu     sync.RWMutex
+	closed bool
+
+	snapshotDir string
+
+	emitMu sync.Mutex // serializes OnEvent across shards
+
+	queries       atomic.Uint64
+	inserts       atomic.Uint64
+	shardsScanned atomic.Uint64
+	shardsPruned  atomic.Uint64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Open partitions table's rows across shards, builds one Tsunami index
+// per shard (each optimized for the slice of the workload its shard can
+// see), and starts serving. bcfg is the per-shard index build
+// configuration; its Parallelism is divided among the concurrent shard
+// builds.
+func Open(table *colstore.Store, workload []query.Query, bcfg core.Config, cfg Config) (*Store, error) {
+	cfg.fill()
+	if cfg.Live.SnapshotPath != "" {
+		return nil, errors.New("sharded: set Config.SnapshotDir, not Live.SnapshotPath (shards derive their own files)")
+	}
+	parts := cfg.Partition
+	if parts == nil {
+		if cfg.Dim < 0 || cfg.Dim >= table.NumDims() {
+			return nil, fmt.Errorf("sharded: partition dim %d out of range (table has %d dims)", cfg.Dim, table.NumDims())
+		}
+		if cfg.Learned {
+			parts = LearnRange(table, cfg.Dim, cfg.Shards)
+		} else {
+			parts = NewHash(cfg.Dim, cfg.Shards)
+		}
+	}
+	n := parts.NumShards()
+	if n <= 0 {
+		return nil, fmt.Errorf("sharded: partitioner reports %d shards", n)
+	}
+
+	// Assign rows, then build per-shard column stores in two passes (the
+	// second writes straight into exactly-sized slices).
+	d := table.NumDims()
+	numRows := table.NumRows()
+	assign := make([]int, numRows)
+	counts := make([]int, n)
+	row := make([]int64, d)
+	for i := 0; i < numRows; i++ {
+		table.Row(i, row)
+		s := parts.ShardOf(row)
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("sharded: partitioner sent row %d to shard %d of %d", i, s, n)
+		}
+		assign[i] = s
+		counts[s]++
+	}
+	shardCols := make([][][]int64, n)
+	for s := 0; s < n; s++ {
+		shardCols[s] = make([][]int64, d)
+		for j := 0; j < d; j++ {
+			shardCols[s][j] = make([]int64, 0, counts[s])
+		}
+	}
+	for j := 0; j < d; j++ {
+		col := table.Column(j)
+		for i, s := range assign {
+			shardCols[s][j] = append(shardCols[s][j], col[i])
+		}
+	}
+
+	// Each shard optimizes only for the queries that can reach it, and
+	// the shard builds share the machine: divide build parallelism.
+	per := bcfg.Parallelism
+	if per <= 0 {
+		per = runtime.NumCPU()
+	}
+	per = per / n
+	if per < 1 {
+		per = 1
+	}
+	bcfg.Parallelism = per
+
+	idxs := make([]*core.Tsunami, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			st, err := colstore.FromColumns(shardCols[s], table.Names())
+			if err != nil {
+				errs[s] = fmt.Errorf("sharded: shard %d: %w", s, err)
+				return
+			}
+			idxs[s] = core.Build(st, shardWorkload(parts, s, workload), bcfg)
+		}(s)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return openShards(parts, idxs, workload, cfg)
+}
+
+// shardWorkload filters workload down to the queries that can touch
+// shard s.
+func shardWorkload(parts Partitioner, s int, workload []query.Query) []query.Query {
+	var out []query.Query
+	var buf []int
+	for _, q := range workload {
+		buf = parts.Shards(q, buf[:0])
+		for _, id := range buf {
+			if id == s {
+				out = append(out, q)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// openShards wraps already-built per-shard indexes in LiveStores and
+// assembles the Store. Shared by Open and Recover.
+func openShards(parts Partitioner, idxs []*core.Tsunami, workload []query.Query, cfg Config) (*Store, error) {
+	s := &Store{
+		parts:       parts,
+		dims:        idxs[0].Store().NumDims(),
+		snapshotDir: cfg.SnapshotDir,
+		shardFinals: cfg.SnapshotDir != "" && cfg.Live.SnapshotInterval > 0,
+	}
+	s.shards = make([]*live.Store, len(idxs))
+	for i, idx := range idxs {
+		lc := cfg.Live
+		if cfg.SnapshotDir != "" {
+			lc.SnapshotPath = shardFile(cfg.SnapshotDir, i)
+		}
+		if cfg.OnEvent != nil {
+			i := i
+			lc.OnEvent = func(ev live.Event) {
+				s.emitMu.Lock()
+				defer s.emitMu.Unlock()
+				cfg.OnEvent(Event{Shard: i, Event: ev})
+			}
+		}
+		s.shards[i] = live.Open(idx, shardWorkload(parts, i, workload), lc)
+	}
+	// Seed the directory with a full consistent snapshot (shard files
+	// first, manifest last), never a bare manifest: Recover must always
+	// find a shard set matching the manifest's partitioner, even if the
+	// process dies before the first periodic snapshot, and even when the
+	// directory held an older store's files.
+	if cfg.SnapshotDir != "" {
+		if err := s.Save(cfg.SnapshotDir); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Partitioner returns the row→shard assignment in use.
+func (s *Store) Partitioner() Partitioner { return s.parts }
+
+// Shard returns shard i's LiveStore, for inspection and tests. Mutating
+// it directly bypasses the router — don't.
+func (s *Store) Shard(i int) *live.Store { return s.shards[i] }
+
+// route returns the shards q must visit and counts the pruning.
+func (s *Store) route(q query.Query) []int {
+	ids := s.parts.Shards(q, make([]int, 0, len(s.shards)))
+	s.queries.Add(1)
+	s.shardsScanned.Add(uint64(len(ids)))
+	s.shardsPruned.Add(uint64(len(s.shards) - len(ids)))
+	return ids
+}
+
+// Execute implements index.Index: route, execute the surviving shards on
+// the calling goroutine, merge the partial aggregates. Lock-free (each
+// shard read resolves that shard's current epoch); use an Executor with
+// IntraQuery for parallel scatter-gather.
+func (s *Store) Execute(q query.Query) colstore.ScanResult {
+	ids := s.route(q)
+	if len(ids) == 1 {
+		return s.shards[ids[0]].Execute(q)
+	}
+	var res colstore.ScanResult
+	for _, id := range ids {
+		res.Add(s.shards[id].Execute(q))
+	}
+	return res
+}
+
+// ExecuteParallelOn answers one query scatter-gather style: the surviving
+// shards are drained by up to workers tasks handed to submit (typically
+// an Executor's worker pool; see the executor's intra-query interface),
+// and the partial aggregates are merged. Tasks never block on other
+// tasks, so running them on a shared pool cannot deadlock. A nil submit
+// spawns one goroutine per task.
+func (s *Store) ExecuteParallelOn(q query.Query, workers int, submit func(task func())) colstore.ScanResult {
+	ids := s.route(q)
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers <= 1 {
+		if len(ids) == 1 {
+			return s.shards[ids[0]].Execute(q)
+		}
+		var res colstore.ScanResult
+		for _, id := range ids {
+			res.Add(s.shards[id].Execute(q))
+		}
+		return res
+	}
+	if submit == nil {
+		submit = func(task func()) { go task() }
+	}
+	// Dynamic assignment: shard result sizes are skewed (pruning can
+	// leave one big shard and several small ones), so workers pull the
+	// next shard from a shared cursor.
+	var cursor atomic.Int64
+	partial := make([]colstore.ScanResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		w := w
+		submit(func() {
+			defer wg.Done()
+			var res colstore.ScanResult
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(ids) {
+					break
+				}
+				res.Add(s.shards[ids[i]].Execute(q))
+			}
+			partial[w] = res
+		})
+	}
+	wg.Wait()
+	var res colstore.ScanResult
+	for _, p := range partial {
+		res.Add(p)
+	}
+	return res
+}
+
+// Name implements index.Index.
+func (s *Store) Name() string {
+	return fmt.Sprintf("ShardedStore[%s]", s.parts.String())
+}
+
+// SizeBytes implements index.Index: the sum of every shard's current
+// epoch.
+func (s *Store) SizeBytes() uint64 {
+	var total uint64
+	for _, sh := range s.shards {
+		total += sh.SizeBytes()
+	}
+	return total
+}
+
+// CurrentIndex implements the executor's IndexSource: the Store itself,
+// so an Executor built over it routes and scatter-gathers per query and
+// picks up every shard's epoch swaps.
+func (s *Store) CurrentIndex() index.Index { return s }
+
+// Insert ingests one row into its shard. It is visible to queries when
+// Insert returns.
+func (s *Store) Insert(row []int64) error {
+	if len(row) != s.dims {
+		return fmt.Errorf("sharded: row has %d values, table has %d dims", len(row), s.dims)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return errClosed
+	}
+	if err := s.shards[s.parts.ShardOf(row)].Insert(row); err != nil {
+		return err
+	}
+	s.inserts.Add(1)
+	return nil
+}
+
+// InsertBatch splits rows by owning shard and ingests the pieces in
+// parallel — one copy-on-write step per touched shard, no cross-shard
+// lock, so concurrent batches scale with shard count. Within each shard
+// the batch is atomic; across shards it becomes visible shard by shard.
+func (s *Store) InsertBatch(rows [][]int64) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	// Validate arity up front: the partitioner indexes into rows, and a
+	// malformed row must be an error, not a panic (matching the
+	// unsharded ingest path).
+	for _, row := range rows {
+		if len(row) != s.dims {
+			return fmt.Errorf("sharded: row has %d values, table has %d dims", len(row), s.dims)
+		}
+	}
+	// Shard ids are dense, so group into a shard-indexed slice (no map
+	// hashing on the ingest hot path).
+	groups := make([][][]int64, len(s.shards))
+	touched := 0
+	for _, row := range rows {
+		id := s.parts.ShardOf(row)
+		if groups[id] == nil {
+			touched++
+		}
+		groups[id] = append(groups[id], row)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return errClosed
+	}
+	var err error
+	if touched == 1 {
+		for id, sub := range groups {
+			if sub != nil {
+				err = s.shards[id].InsertBatch(sub)
+				break
+			}
+		}
+	} else {
+		// One sub-batch runs on the calling goroutine; the rest fan out.
+		errs := make([]error, 0, touched)
+		var wg sync.WaitGroup
+		var errMu sync.Mutex
+		insert := func(id int, sub [][]int64) {
+			if e := s.shards[id].InsertBatch(sub); e != nil {
+				errMu.Lock()
+				errs = append(errs, fmt.Errorf("shard %d: %w", id, e))
+				errMu.Unlock()
+			}
+		}
+		localID := -1
+		for id, sub := range groups {
+			if sub == nil {
+				continue
+			}
+			if localID < 0 {
+				localID = id
+				continue
+			}
+			id, sub := id, sub
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				insert(id, sub)
+			}()
+		}
+		insert(localID, groups[localID])
+		wg.Wait()
+		err = errors.Join(errs...)
+	}
+	if err != nil {
+		return err
+	}
+	s.inserts.Add(uint64(len(rows)))
+	return nil
+}
+
+// Flush folds every shard's buffered rows into its clustered layout, in
+// parallel, and returns when all shards are clean.
+func (s *Store) Flush() error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		i, sh := i, sh
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := sh.Flush(); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Stats is a point-in-time summary of a sharded store.
+type Stats struct {
+	Shards      int
+	Partitioner string
+
+	// Queries counts routed queries; ShardsScanned and ShardsPruned sum,
+	// per query, how many shards executed vs. were pruned by the router
+	// (ShardsScanned/Queries is the mean fan-out).
+	Queries       uint64
+	Inserts       uint64
+	ShardsScanned uint64
+	ShardsPruned  uint64
+
+	// Sums over shards.
+	ClusteredRows   int
+	BufferedRows    int
+	Merges          uint64
+	Reoptimizations uint64
+	Snapshots       uint64
+
+	// PerShard holds each shard's own stats, indexed by shard id.
+	PerShard []live.Stats
+}
+
+// Stats reports current counters. Safe from any goroutine.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Shards:        len(s.shards),
+		Partitioner:   s.parts.String(),
+		Queries:       s.queries.Load(),
+		Inserts:       s.inserts.Load(),
+		ShardsScanned: s.shardsScanned.Load(),
+		ShardsPruned:  s.shardsPruned.Load(),
+		PerShard:      make([]live.Stats, len(s.shards)),
+	}
+	for i, sh := range s.shards {
+		ls := sh.Stats()
+		st.PerShard[i] = ls
+		st.ClusteredRows += ls.ClusteredRows
+		st.BufferedRows += ls.BufferedRows
+		st.Merges += ls.Merges
+		st.Reoptimizations += ls.Reoptimizations
+		st.Snapshots += ls.Snapshots
+	}
+	return st
+}
+
+// Close stops ingest, closes every shard in parallel, and — when the
+// store was opened with SnapshotDir — writes a final consistent
+// snapshot of the shards' last state there, so the directory is always
+// recoverable after a clean shutdown (with or without a periodic
+// snapshot interval). Reads against the Store remain valid after Close.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		errs := make([]error, len(s.shards), len(s.shards)+1)
+		var wg sync.WaitGroup
+		for i, sh := range s.shards {
+			i, sh := i, sh
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := sh.Close(); err != nil {
+					errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				}
+			}()
+		}
+		wg.Wait()
+		// With periodic snapshots on, each shard's Close already wrote its
+		// final state into the directory (ingest stopped first, so the
+		// union is a consistent cut); otherwise write the cut ourselves.
+		if s.snapshotDir != "" && !s.shardFinals {
+			errs = append(errs, s.Save(s.snapshotDir))
+		}
+		s.closeErr = errors.Join(errs...)
+	})
+	return s.closeErr
+}

@@ -3,17 +3,28 @@ package tsunami
 import (
 	"io"
 
+	"repro/internal/core"
 	"repro/internal/live"
+	"repro/internal/sharded"
 )
 
-// This file exposes the live serving subsystem (internal/live): an
-// epoch-based read-write layer over a built Tsunami index. Readers resolve
-// the current immutable index through an atomic epoch handle and execute
-// lock-free; writers go through a serialized copy-on-write ingest path;
-// and a background maintenance goroutine merges buffered rows into fresh
-// clustered copies, re-optimizes drifted region grids when the shift
-// detector fires, and takes periodic crash-recovery snapshots — each
-// published with a single atomic swap while old-epoch readers drain.
+// This file exposes the serving subsystems:
+//
+//   - LiveStore (internal/live): an epoch-based read-write layer over a
+//     built Tsunami index. Readers resolve the current immutable index
+//     through an atomic epoch handle and execute lock-free; writers go
+//     through a serialized copy-on-write ingest path; and a background
+//     maintenance goroutine merges buffered rows into fresh clustered
+//     copies, re-optimizes drifted region grids when the shift detector
+//     fires, and takes periodic crash-recovery snapshots — each published
+//     with a single atomic swap while old-epoch readers drain.
+//
+//   - ShardedStore (internal/sharded): N independent LiveStore shards
+//     behind a partitioning router. Ingest scales with shard count (each
+//     shard has its own copy-on-write writer section), reads scatter to
+//     the shards the partitioner cannot prune and gather their partial
+//     aggregates, and each shard runs its own maintenance. Save/Recover
+//     coordinate a consistent multi-shard snapshot.
 
 // LiveStore is a concurrently-writable serving layer over a Tsunami
 // index. It implements Index (reads execute against the current epoch)
@@ -66,4 +77,73 @@ func NewLiveStore(idx *TsunamiIndex, optimized []Query, o LiveOptions) *LiveStor
 // including rows that were buffered but not yet merged at snapshot time.
 func RecoverLiveStore(r io.Reader, optimized []Query, o LiveOptions) (*LiveStore, error) {
 	return live.Recover(r, optimized, o)
+}
+
+// ---------------------------------------------------------------------------
+// Sharded serving.
+
+// ShardedStore serves one logical table from N independent LiveStore
+// shards: rows are routed to shards by a Partitioner, ingest to different
+// shards proceeds with no cross-shard lock (throughput scales with shard
+// count), and reads execute only on the shards the router cannot prune,
+// merging their partial aggregates (COUNT/SUM add; AVG merges exactly
+// because Result carries the sum+count pair).
+//
+// ShardedStore implements Index and IndexSource, and supports the
+// Executor's intra-query interface: an Executor with IntraQuery enabled
+// scatters each query's surviving shards across its worker pool and
+// gathers the partials.
+type ShardedStore = sharded.Store
+
+// ShardedOptions configures a ShardedStore: shard count, partitioner
+// choice, the per-shard LiveOptions, and the snapshot directory.
+type ShardedOptions = sharded.Config
+
+// ShardedStats is a point-in-time summary of a ShardedStore, including
+// router pruning counters and per-shard LiveStats.
+type ShardedStats = sharded.Stats
+
+// ShardedEvent is one shard's maintenance event, tagged with the shard id.
+type ShardedEvent = sharded.Event
+
+// Partitioner assigns rows to shards and prunes shards for queries; see
+// NewHashPartitioner and NewRangePartitioner for the built-in choices.
+type Partitioner = sharded.Partitioner
+
+// NewHashPartitioner spreads rows across shards by a mixed hash of one
+// dimension — balanced on any data, but only equality filters on that
+// dimension prune shards.
+func NewHashPartitioner(dim, shards int) Partitioner { return sharded.NewHash(dim, shards) }
+
+// NewRangePartitioner learns an equi-depth range partitioning of dim from
+// the table, so shards start balanced and range filters on dim touch only
+// the shards their interval overlaps. Partition on the dimension your
+// range queries filter most (typically the clustered/time dimension).
+func NewRangePartitioner(table *Table, dim, shards int) Partitioner {
+	return sharded.LearnRange(table, dim, shards)
+}
+
+// NewShardedStore partitions table across shards, builds one Tsunami
+// index per shard for the slice of the workload that shard can see, and
+// starts serving with per-shard background maintenance.
+//
+//	ss, err := tsunami.NewShardedStore(table, work, tsunami.Options{},
+//	    tsunami.ShardedOptions{Shards: 8, Learned: true})
+//	defer ss.Close()
+//
+//	go func() { ss.InsertBatch(rows) }()   // writers scale with shards
+//	res := ss.Execute(q)                   // routed, pruned, merged
+//
+//	ex := tsunami.NewExecutorSource(ss, tsunami.ExecutorOptions{IntraQuery: true})
+//	res = ex.Execute(q)                    // parallel scatter-gather
+func NewShardedStore(table *Table, workload []Query, o Options, so ShardedOptions) (*ShardedStore, error) {
+	return sharded.Open(table, workload, o.coreConfig(core.FullTsunami), so)
+}
+
+// RecoverShardedStore reopens a ShardedStore from a snapshot directory
+// written by ShardedStore.Save (or maintained under
+// ShardedOptions.SnapshotDir): the manifest reconstructs the partitioner
+// and every shard reloads, buffered rows included.
+func RecoverShardedStore(dir string, workload []Query, so ShardedOptions) (*ShardedStore, error) {
+	return sharded.Recover(dir, workload, so)
 }

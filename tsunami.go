@@ -47,6 +47,12 @@ import (
 // expresses equality.
 type Filter = query.Filter
 
+// NoLo and NoHi mark one side of a Filter as unbounded.
+const (
+	NoLo = query.NoLo
+	NoHi = query.NoHi
+)
+
 // Query is a conjunctive multi-dimensional range query with a COUNT or SUM
 // aggregation.
 type Query = query.Query
