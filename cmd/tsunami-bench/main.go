@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (tab3, tab4, fig7..fig12b, ablation, concurrency, sharded, all)")
+		experiment = flag.String("experiment", "all", "experiment id (tab3, tab4, fig7..fig12b, ablation, concurrency, sharded, rebalance, all)")
 		rows       = flag.Int("rows", 0, "base dataset rows (default 200000; paper used 184M-300M)")
 		perType    = flag.Int("queries-per-type", 0, "queries per query type (default 100, as in the paper)")
 		seed       = flag.Int64("seed", 42, "generator seed")

@@ -29,9 +29,17 @@
 // prune, ingest to different shards runs in parallel, and
 // -snapshot-dir/-snapshot-every maintain a recoverable snapshot
 // directory. `save <dir>` writes a consistent multi-shard snapshot;
-// -load <dir> recovers one.
+// -load <dir> recovers one — including directories left by a crash
+// mid-rebalance, which are reconciled on recovery.
+//
+// With -rebalance-every the store also watches shard sizes and, when the
+// largest shard exceeds -rebalance-skew times the mean, re-learns the
+// range cuts and migrates rows between neighboring shards online —
+// readers stay lock-free and exact throughout. `rebalance` triggers one
+// manually; `stats` shows the skew, generation, and rows migrated.
 //
 //	tsunami-cli -dataset taxi -shards 4 -partition range \
+//	    -rebalance-every 30s -rebalance-skew 2 \
 //	    -snapshot-dir /tmp/taxi-shards -snapshot-every 30s
 //
 // In both serve modes SIGINT/SIGTERM shut down gracefully: ingest stops,
@@ -127,6 +135,8 @@ func main() {
 		snapPath  = flag.String("snapshot", "", "periodic crash-recovery snapshot file (-live)")
 		snapDir   = flag.String("snapshot-dir", "", "periodic crash-recovery snapshot directory (-shards)")
 		snapEvery = flag.Duration("snapshot-every", 30*time.Second, "periodic snapshot interval (needs -snapshot or -snapshot-dir)")
+		rebEvery  = flag.Duration("rebalance-every", 0, "shard imbalance check interval, 0 = no auto-rebalance (-shards with -partition range)")
+		rebSkew   = flag.Float64("rebalance-skew", 2, "rebalance when the largest shard exceeds this multiple of the mean")
 	)
 	flag.Parse()
 	if *liveMode && *shards > 0 {
@@ -149,6 +159,9 @@ func main() {
 		MergeThreshold:       *mergeAt,
 		RegionMergeThreshold: *regionAt,
 	}
+	if *rebEvery > 0 && (*shards == 0 || *partition == "hash") {
+		fatal(fmt.Errorf("-rebalance-every needs -shards with -partition range"))
+	}
 	shardCfg := sharded.Config{
 		Shards:      *shards,
 		Dim:         *partDim,
@@ -156,6 +169,10 @@ func main() {
 		Live:        liveCfg,
 		SnapshotDir: *snapDir,
 		OnEvent:     printShardEvent,
+		Rebalance: sharded.RebalanceConfig{
+			CheckInterval: *rebEvery,
+			MaxSkew:       *rebSkew,
+		},
 	}
 	if *snapDir != "" {
 		shardCfg.Live.SnapshotInterval = *snapEvery
@@ -312,8 +329,14 @@ func printShardEvent(ev sharded.Event) {
 		fmt.Printf("\n[shard %d] workload shift: re-optimized %d regions in %.2fs (epoch %d)\n> ", ev.Shard, ev.RegionsRebuilt, ev.Seconds, ev.Epoch)
 	case live.EventSnapshot:
 		fmt.Printf("\n[shard %d] snapshot written in %.2fs\n> ", ev.Shard, ev.Seconds)
+	case live.EventRebalance:
+		fmt.Printf("\n[store] rebalanced: migrated %d rows in %.2fs (generation %d)\n> ", ev.MergedRows, ev.Seconds, ev.Epoch)
 	case live.EventError:
-		fmt.Printf("\n[shard %d] maintenance error: %v\n> ", ev.Shard, ev.Err)
+		if ev.Shard < 0 {
+			fmt.Printf("\n[store] rebalance error: %v\n> ", ev.Err)
+		} else {
+			fmt.Printf("\n[shard %d] maintenance error: %v\n> ", ev.Shard, ev.Err)
+		}
 	}
 }
 
@@ -331,6 +354,7 @@ func eval(s *session, names []string, line string) bool {
   stats                  index structure statistics (Tab 4 of the paper)
   insert v1,v2,...       add a row (live/sharded: visible immediately, merged in background)
   merge                  fold buffered rows into the clustered layout now
+  rebalance              re-learn shard cuts and migrate rows online (sharded, range partitioner)
   save <file|dir>        persist the index (sharded: a snapshot directory)
   quit
 `)
@@ -354,6 +378,9 @@ func eval(s *session, names []string, line string) bool {
 			}
 			fmt.Printf("sharded: %d shards (%s), %d clustered + %d buffered rows, %d queries (fan-out %.2f, %d shard scans pruned), %d inserts, %d merges, %d snapshots\n",
 				ss.Shards, ss.Partitioner, ss.ClusteredRows, ss.BufferedRows, ss.Queries, fanout, ss.ShardsPruned, ss.Inserts, ss.Merges, ss.Snapshots)
+			skew, _ := s.shard.Skew()
+			fmt.Printf("rebalance: generation %d, %d rebalances, %d rows migrated, current skew %.2fx\n",
+				ss.Generation, ss.Rebalances, ss.RowsMigrated, skew)
 			for i, ls := range ss.PerShard {
 				fmt.Printf("  shard %d: epoch %d, %d clustered + %d buffered rows, %d queries\n",
 					i, ls.Epoch, ls.ClusteredRows, ls.BufferedRows, ls.Queries)
@@ -396,6 +423,21 @@ func eval(s *session, names []string, line string) bool {
 		} else {
 			fmt.Printf("merged in %v; table now %d rows\n", time.Since(start), s.index().Store().NumRows())
 		}
+	case "rebalance":
+		if s.shard == nil {
+			fmt.Println("rebalance needs -shards")
+			return false
+		}
+		before := s.shard.Stats()
+		start := time.Now()
+		if err := s.shard.Rebalance(); err != nil {
+			fmt.Println(err)
+			return false
+		}
+		after := s.shard.Stats()
+		skew, _ := s.shard.Skew()
+		fmt.Printf("rebalanced in %v: migrated %d rows (generation %d, skew now %.2fx)\n",
+			time.Since(start), after.RowsMigrated-before.RowsMigrated, after.Generation, skew)
 	case "save":
 		fields := strings.Fields(line)
 		if len(fields) != 2 {

@@ -237,6 +237,7 @@ func All(w io.Writer, o Options) {
 	Ablations(w, o)
 	Concurrency(w, o)
 	Sharded(w, o)
+	Rebalance(w, o)
 }
 
 // Run dispatches an experiment by id ("tab3", "fig7", ..., "all").
@@ -270,10 +271,12 @@ func Run(w io.Writer, id string, o Options) error {
 		Concurrency(w, o)
 	case "sharded":
 		Sharded(w, o)
+	case "rebalance":
+		Rebalance(w, o)
 	case "all":
 		All(w, o)
 	default:
-		return fmt.Errorf("unknown experiment %q (tab3, tab4, fig7, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, ablation, concurrency, sharded, all)", id)
+		return fmt.Errorf("unknown experiment %q (tab3, tab4, fig7, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, ablation, concurrency, sharded, rebalance, all)", id)
 	}
 	return nil
 }

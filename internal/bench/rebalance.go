@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/live"
+	"repro/internal/query"
+	"repro/internal/sharded"
+	"repro/internal/workload"
+)
+
+// Rebalance measures online shard rebalancing under skewed ingest: all
+// fresh rows land in the last time shard until the spread is far past the
+// rebalancer's threshold, then a rebalance migrates rows back to
+// equi-depth while a measurement thread keeps querying. Reported per
+// phase (before skew, skewed, during migration, after): query latency
+// percentiles, the shard row-count spread, and — the property the whole
+// protocol exists for — whether every answer during the migration was
+// exact (the expected results are fixed beforehand; ingest is quiesced
+// while the cuts move, so any deviation is a migration bug, not a race
+// with ingest). PIMDAL's memory-bottleneck argument (arXiv:2504.01948) is
+// the reason the migration must not stall the scan path; this experiment
+// is the check that it does not.
+func Rebalance(w io.Writer, o Options) {
+	o = o.fill()
+	section(w, "Rebalance", "Online shard rebalancing under skewed ingest")
+	ds := datasets.Taxi(o.Rows, o.Seed+2)
+	work := workload.ForDataset(ds, o.QueriesPerType, o.Seed+102)
+
+	st, err := sharded.Open(ds.Store, work, o.tsunamiConfig(core.FullTsunami), sharded.Config{
+		Shards:  4,
+		Learned: true,
+		Live:    live.Config{MergeThreshold: 1 << 30}, // isolate migration cost from merges
+	})
+	if err != nil {
+		fmt.Fprintf(w, "BUILD FAILURE: %v\n", err)
+		return
+	}
+	defer st.Close()
+
+	// A fixed probe set, biased toward the partition dimension where the
+	// cuts move.
+	rng := rand.New(rand.NewSource(o.Seed + 7))
+	probes := append([]query.Query(nil), work...)
+	lo, hi := ds.Store.MinMax(0)
+	for i := 0; i < 40; i++ {
+		a := lo + rng.Int63n(hi-lo+1)
+		probes = append(probes, query.NewCount(query.Filter{Dim: 0, Lo: a, Hi: a + (hi-lo)/20}))
+	}
+
+	t := newTable("phase", "queries", "p50", "p99", "spread", "exact")
+	addPhase := func(name string, lat []float64, checked, wrong int) {
+		exact := "-"
+		if checked > 0 {
+			exact = fmt.Sprintf("%d/%d", checked-wrong, checked)
+		}
+		t.add(name, fmt.Sprintf("%d", len(lat)),
+			ms(percentile(lat, 0.50)), ms(percentile(lat, 0.99)),
+			fmt.Sprintf("%.2fx", spreadOf(st)), exact)
+	}
+
+	// Phase 1 — balanced, as opened.
+	lat, _, _ := measure(st, probes, nil, 2000, nil)
+	addPhase("before skew", lat, 0, 0)
+
+	// Phase 2 — skewed ingest: every new row beyond the current max of
+	// dim 0, i.e. straight into the last shard.
+	extra := o.Rows / 2
+	batch := make([][]int64, 0, 512)
+	buf := make([]int64, ds.Store.NumDims())
+	for i := 0; i < extra; i++ {
+		row := append([]int64(nil), ds.Store.Row(i%ds.Store.NumRows(), buf)...)
+		row[0] = hi + 1 + int64(i)
+		batch = append(batch, row)
+		if len(batch) == 512 || i == extra-1 {
+			if err := st.InsertBatch(batch); err != nil {
+				fmt.Fprintf(w, "INGEST FAILURE: %v\n", err)
+				return
+			}
+			batch = batch[:0]
+		}
+	}
+	// Fold the ingested rows so every phase measures clustered-state scan
+	// cost: the comparison isolates migration, not delta-scan penalties.
+	if err := st.Flush(); err != nil {
+		fmt.Fprintf(w, "FLUSH FAILURE: %v\n", err)
+		return
+	}
+	lat, _, _ = measure(st, probes, nil, 2000, nil)
+	addPhase("skewed", lat, 0, 0)
+
+	// Phase 3 — during migration: ingest is quiesced, so the exact answer
+	// to every probe is fixed; the measurement loop validates each one
+	// while the rebalance moves rows underneath it.
+	want := make([]colstore.ScanResult, len(probes))
+	for i, q := range probes {
+		want[i] = st.Execute(q)
+	}
+	var rebErr error
+	rebDone := make(chan struct{})
+	go func() {
+		rebErr = st.Rebalance()
+		close(rebDone)
+	}()
+	lat, checked, wrong := measure(st, probes, want, 0, rebDone)
+	<-rebDone
+	if rebErr != nil {
+		fmt.Fprintf(w, "REBALANCE FAILURE: %v\n", rebErr)
+		return
+	}
+	addPhase("during migration", lat, checked, wrong)
+
+	// Phase 4 — rebalanced and re-merged: the migrated rows arrive in the
+	// destination shards' delta buffers; fold them to measure the steady
+	// state the store settles into (the background merge loop does this
+	// on its own in real serving).
+	if err := st.Flush(); err != nil {
+		fmt.Fprintf(w, "FLUSH FAILURE: %v\n", err)
+		return
+	}
+	lat, checked2, wrong2 := measure(st, probes, want, 2000, nil)
+	addPhase("after", lat, checked2, wrong2)
+	t.print(w)
+
+	s := st.Stats()
+	fmt.Fprintf(w, "migrated %d rows in %d generation steps; post-rebalance spread %.2fx (threshold 2x)\n",
+		s.RowsMigrated, s.Generation-1, spreadOf(st))
+	if wrong+wrong2 > 0 {
+		fmt.Fprintf(w, "CORRECTNESS FAILURE: %d answers diverged during/after migration\n", wrong+wrong2)
+	}
+}
+
+// measure runs probes round-robin, recording per-query latency. With a
+// non-nil done channel it runs until done closes (at least one full
+// pass); otherwise it runs count queries. With non-nil want it verifies
+// every answer and counts mismatches.
+func measure(st *sharded.Store, probes []query.Query, want []colstore.ScanResult, count int, done <-chan struct{}) (lat []float64, checked, wrong int) {
+	for i := 0; ; i++ {
+		if done != nil {
+			stopped := false
+			select {
+			case <-done:
+				stopped = true
+			default:
+			}
+			if stopped && i >= len(probes) {
+				break
+			}
+		} else if i >= count {
+			break
+		}
+		q := probes[i%len(probes)]
+		t0 := time.Now()
+		res := st.Execute(q)
+		lat = append(lat, float64(time.Since(t0).Nanoseconds()))
+		if want != nil {
+			checked++
+			if res.Count != want[i%len(probes)].Count || res.Sum != want[i%len(probes)].Sum {
+				wrong++
+			}
+		}
+	}
+	return lat, checked, wrong
+}
+
+// spreadOf is the largest shard's rows over the smallest's (clustered +
+// buffered), the balance metric the experiment tracks.
+func spreadOf(st *sharded.Store) float64 {
+	s := st.Stats()
+	min, max := -1, 0
+	for _, ls := range s.PerShard {
+		n := ls.ClusteredRows + ls.BufferedRows
+		if n > max {
+			max = n
+		}
+		if min < 0 || n < min {
+			min = n
+		}
+	}
+	if min <= 0 {
+		min = 1
+	}
+	return float64(max) / float64(min)
+}
+
+// percentile returns the p-quantile of unsorted latencies.
+func percentile(lat []float64, p float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), lat...)
+	sort.Float64s(s)
+	i := int(p * float64(len(s)-1))
+	return s[i]
+}

@@ -104,6 +104,10 @@ const (
 	// EventError: a maintenance operation failed; the previous epoch
 	// keeps serving.
 	EventError
+	// EventRebalance: rows migrated between shards. Emitted by the sharded
+	// rebalancer (the event kinds are shared with the sharded layer), never
+	// by a LiveStore itself.
+	EventRebalance
 )
 
 func (k EventKind) String() string {
@@ -116,6 +120,8 @@ func (k EventKind) String() string {
 		return "snapshot"
 	case EventError:
 		return "error"
+	case EventRebalance:
+		return "rebalance"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

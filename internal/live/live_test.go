@@ -13,7 +13,6 @@ import (
 	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/gridtree"
-	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/shift"
 	"repro/internal/testutil"
@@ -29,23 +28,6 @@ func smallConfig() core.Config {
 		},
 		MinRowsForGrid: 256,
 	}
-}
-
-// combineRows appends extra rows to a copy of st's columns.
-func combineRows(st *colstore.Store, extra [][]int64) *colstore.Store {
-	d := st.NumDims()
-	cols := make([][]int64, d)
-	for j := 0; j < d; j++ {
-		cols[j] = append(append([]int64(nil), st.Column(j)...), make([]int64, len(extra))...)
-		for i, row := range extra {
-			cols[j][st.NumRows()+i] = row[j]
-		}
-	}
-	out, err := colstore.FromColumns(cols, st.Names())
-	if err != nil {
-		panic(err)
-	}
-	return out
 }
 
 // shiftedQuery builds a query type absent from the optimized workload
@@ -175,27 +157,22 @@ func TestLiveConcurrentReadWriteWithMaintenance(t *testing.T) {
 		t.Fatalf("%d rows still buffered after quiesce", got)
 	}
 
-	// Offline references over the same rows: a full scan and a rebuilt
-	// Tsunami index.
+	// Offline references over the same rows: the shared full-scan oracle
+	// and a rebuilt Tsunami index.
 	var all [][]int64
 	for _, rows := range inserted {
 		all = append(all, rows...)
 	}
-	combined := combineRows(st, all)
-	full := index.NewFullScan(combined)
+	combined := testutil.CombineRows(st, all)
 	rebuilt := core.Build(combined, work, smallConfig())
 
 	check := append(append([]query.Query(nil), probes...), testutil.RandomQueries(st, 60, 3)...)
 	for k := int64(0); k < 10; k++ {
 		check = append(check, shiftedQuery(st, k))
 	}
+	testutil.CheckMatchesFullScan(t, s, combined, check)
 	for _, q := range check {
 		got := s.Execute(q)
-		want := full.Execute(q)
-		if got.Count != want.Count || got.Sum != want.Sum {
-			t.Errorf("post-quiesce vs full scan on %s: (%d, %d), want (%d, %d)",
-				q, got.Count, got.Sum, want.Count, want.Sum)
-		}
 		ref := rebuilt.Execute(q)
 		if got.Count != ref.Count || got.Sum != ref.Sum {
 			t.Errorf("post-quiesce vs offline rebuild on %s: (%d, %d), want (%d, %d)",

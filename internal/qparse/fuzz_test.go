@@ -4,9 +4,9 @@ import (
 	"testing"
 )
 
-// FuzzParse ensures the CLI query parser never panics and that successful
-// parses produce structurally valid queries.
-func FuzzParse(f *testing.F) {
+// FuzzQueryParse ensures the CLI query parser never panics and that
+// successful parses produce structurally valid queries.
+func FuzzQueryParse(f *testing.F) {
 	names := []string{"day", "store", "price", "qty"}
 	for _, seed := range []string{
 		"count qty=5",

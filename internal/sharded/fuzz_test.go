@@ -1,0 +1,99 @@
+package sharded
+
+import (
+	"testing"
+
+	"repro/internal/query"
+)
+
+// FuzzPartitionerRoute fuzzes the two partitioner invariants everything
+// else is built on: ShardOf is total and in-range for any row, and
+// routing is sound — the shard owning a row matching a query is always in
+// the routed set (pruning may be imprecise, never wrong). It drives both
+// partitioner kinds, including range partitioners with duplicate and
+// unsorted-input cut material, with rows and filters across the whole
+// int64 domain.
+func FuzzPartitionerRoute(f *testing.F) {
+	f.Add(uint8(2), int64(0), int64(100), int64(10), int64(50), int64(1), true)
+	f.Add(uint8(5), int64(-7), int64(7), int64(-100), int64(100), int64(0), false)
+	f.Add(uint8(1), int64(9), int64(9), int64(9), int64(9), int64(9), true)
+	f.Add(uint8(16), int64(-1<<62), int64(1<<62), int64(-1), int64(1), int64(1<<40), false)
+	f.Fuzz(func(t *testing.T, nShards uint8, cutA, cutB, fLo, fHi, v int64, useRange bool) {
+		n := int(nShards%8) + 1
+		var p Partitioner
+		if useRange {
+			// Derive n-1 ascending cuts from the two fuzzed anchors.
+			lo, hi := cutA, cutB
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			cuts := make([]int64, n-1)
+			for i := range cuts {
+				span := uint64(hi-lo) / uint64(n) // two's-complement width / n
+				cuts[i] = lo + int64(span*uint64(i+1))
+			}
+			// Arithmetic near the int64 edges may wrap; the partitioner's
+			// contract requires ascending cuts, so enforce it (duplicates
+			// are legal and leave shards empty).
+			for i := 1; i < len(cuts); i++ {
+				if cuts[i] < cuts[i-1] {
+					cuts[i] = cuts[i-1]
+				}
+			}
+			p = &RangePartitioner{dim: 0, cuts: cuts}
+		} else {
+			p = NewHash(0, n)
+		}
+
+		if got := p.NumShards(); got != n {
+			t.Fatalf("NumShards = %d, want %d", got, n)
+		}
+		// The fuzzed row: value v on the partitioned dim, anything else
+		// elsewhere.
+		row := []int64{v, fLo, fHi}
+		s := p.ShardOf(row)
+		if s < 0 || s >= n {
+			t.Fatalf("ShardOf(%d) = %d, outside [0, %d)", v, s, n)
+		}
+		if again := p.ShardOf(row); again != s {
+			t.Fatalf("ShardOf(%d) unstable: %d then %d", v, s, again)
+		}
+
+		// Routing soundness for a filter on the partitioned dimension (and
+		// for one off-dimension, which must fan out to every shard able to
+		// hold the row).
+		if fLo > fHi {
+			fLo, fHi = fHi, fLo
+		}
+		for _, q := range []query.Query{
+			query.NewCount(query.Filter{Dim: 0, Lo: fLo, Hi: fHi}),
+			query.NewCount(query.Filter{Dim: 1, Lo: fLo, Hi: fHi}),
+			query.NewCount(query.Filter{Dim: 0, Lo: v, Hi: v}),
+			query.NewCount(),
+		} {
+			ids := p.Shards(q, nil)
+			if len(ids) == 0 {
+				t.Fatalf("%s routed %s to zero shards", p, q)
+			}
+			routed := make(map[int]bool, len(ids))
+			for _, id := range ids {
+				if id < 0 || id >= n {
+					t.Fatalf("%s routed %s to shard %d of %d", p, q, id, n)
+				}
+				routed[id] = true
+			}
+			if q.MatchesRow(row) && !routed[s] {
+				t.Fatalf("%s prunes shard %d which owns row %v matching %s", p, s, row, q)
+			}
+		}
+
+		// The spec round-trip preserves the assignment.
+		back, err := p.Spec().Partitioner()
+		if err != nil {
+			t.Fatalf("%s: spec round-trip: %v", p, err)
+		}
+		if back.ShardOf(row) != s {
+			t.Fatalf("%s: spec round-trip moved row %v: %d != %d", p, row, back.ShardOf(row), s)
+		}
+	})
+}

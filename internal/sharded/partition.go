@@ -2,6 +2,7 @@ package sharded
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/colstore"
@@ -149,6 +150,13 @@ func LearnRange(table *colstore.Store, dim, n int) *RangePartitioner {
 		}
 	}
 	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	return &RangePartitioner{dim: dim, cuts: cutsFromSorted(sample, n)}
+}
+
+// cutsFromSorted picks n-1 equi-depth cut points (quantiles) from an
+// ascending sample. Shared by LearnRange and the online rebalancer's cut
+// re-learning.
+func cutsFromSorted(sample []int64, n int) []int64 {
 	cuts := make([]int64, 0, n-1)
 	for i := 1; i < n; i++ {
 		if len(sample) == 0 {
@@ -161,7 +169,7 @@ func LearnRange(table *colstore.Store, dim, n int) *RangePartitioner {
 		}
 		cuts = append(cuts, sample[k])
 	}
-	return &RangePartitioner{dim: dim, cuts: cuts}
+	return cuts
 }
 
 // NumShards implements Partitioner.
@@ -191,6 +199,39 @@ func (p *RangePartitioner) Shards(q query.Query, dst []int) []int {
 
 // Cuts returns the learned cut points (ascending, one fewer than shards).
 func (p *RangePartitioner) Cuts() []int64 { return p.cuts }
+
+// Dim returns the partitioned dimension.
+func (p *RangePartitioner) Dim() int { return p.dim }
+
+// WithCut returns a copy of p with cut i moved to c. The caller must keep
+// the cut vector ascending (the rebalancer's clamped passes do).
+func (p *RangePartitioner) WithCut(i int, c int64) *RangePartitioner {
+	cuts := append([]int64(nil), p.cuts...)
+	cuts[i] = c
+	return &RangePartitioner{dim: p.dim, cuts: cuts}
+}
+
+// Bounds returns the inclusive value range shard i owns on the
+// partitioned dimension, using math.MinInt64/MaxInt64 for the unbounded
+// ends. A shard squeezed between duplicate cuts owns an empty range
+// (lo > hi).
+func (p *RangePartitioner) Bounds(i int) (lo, hi int64) {
+	lo, hi = math.MinInt64, math.MaxInt64
+	if i > 0 {
+		lo = p.cuts[i-1]
+	}
+	if i < len(p.cuts) {
+		if p.cuts[i] == math.MinInt64 {
+			// Degenerate cut at the domain floor: nothing sits below it.
+			return 1, 0 // canonical empty range
+		}
+		hi = p.cuts[i] - 1
+	}
+	if lo > hi {
+		return 1, 0 // duplicate cuts squeeze this shard empty
+	}
+	return lo, hi
+}
 
 // Spec implements Partitioner.
 func (p *RangePartitioner) Spec() Spec {

@@ -28,6 +28,15 @@
 // partially applied. Save takes a write-blocking cut across all shards
 // (no batch is ever split across a snapshot), producing one manifest plus
 // per-shard v2 snapshots that Recover reassembles.
+//
+// Placement is not fixed at open: an online rebalancer (rebalance.go)
+// watches per-shard row counts, re-learns the range partitioner's
+// equi-depth cuts when skewed ingest unbalances the shards, and migrates
+// rows between neighbors — readers stay lock-free and exact through every
+// migration (reads retry around a seqlock'd commit window), and the
+// snapshot manifest carries a partitioner generation plus a write-intent
+// record so a crash mid-migration recovers to a consistent placement
+// (persist.go).
 package sharded
 
 import (
@@ -36,6 +45,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/colstore"
 	"repro/internal/core"
@@ -68,6 +78,12 @@ type Config struct {
 	// is recoverable at every point in the store's life. Save writes a
 	// mutually consistent cut to any directory on demand.
 	SnapshotDir string
+	// Rebalance tunes the online shard rebalancer, which re-learns the
+	// range partitioner's cuts and migrates rows between neighboring
+	// shards when skewed ingest unbalances them. Requires the learned
+	// range partitioner (Learned, or a Partition that is a
+	// *RangePartitioner); see RebalanceConfig.
+	Rebalance RebalanceConfig
 	// OnEvent, when non-nil, receives every shard's maintenance events
 	// tagged with the shard id. Invocations are serialized across shards.
 	// It overrides Live.OnEvent.
@@ -85,7 +101,8 @@ func (c *Config) fill() {
 	}
 }
 
-// Event is one shard's maintenance event.
+// Event is one shard's maintenance event. Store-level events — rebalances
+// and rebalancer errors — carry Shard == -1.
 type Event struct {
 	Shard int
 	live.Event
@@ -103,10 +120,26 @@ var errClosed = errors.New("sharded: store is closed")
 // to one shard serialize only on that shard's short copy-on-write
 // section. Save briefly blocks writers (not readers) to cut a mutually
 // consistent snapshot.
+// topology is the atomically-published routing state: the partitioner and
+// its generation, which advances by one per completed cut migration.
+type topology struct {
+	parts Partitioner
+	gen   uint64
+}
+
 type Store struct {
-	parts  Partitioner
+	// topo is the current partitioner + generation. Reads load it per
+	// query; migrations publish a successor inside their commit window.
+	topo   atomic.Pointer[topology]
 	shards []*live.Store
 	dims   int // table dimensionality, checked before rows reach the partitioner
+
+	// migrating is a seqlock around a migration's commit window: odd while
+	// the cross-shard epoch swaps and the topology publish are in flight.
+	// Readers that overlap the window retry, so every returned aggregate
+	// reflects a consistent placement — rows are never double-counted or
+	// missed mid-migration.
+	migrating atomic.Uint64
 
 	// shardFinals records that each shard's own Close writes its final
 	// snapshot into snapshotDir (periodic snapshots configured), so
@@ -114,12 +147,26 @@ type Store struct {
 	shardFinals bool
 
 	// mu is the ingest gate: InsertBatch holds it shared for the whole
-	// batch, Save and Close hold it exclusively — so a snapshot cut never
-	// splits a batch across shards and no write lands after Close.
+	// batch (routing and inserting under one topology), Save, Close and a
+	// migration's commit window hold it exclusively — so a snapshot cut
+	// never splits a batch across shards, no write lands after Close, and
+	// no write races a migration's row handoff.
 	mu     sync.RWMutex
 	closed bool
 
+	// rebalMu serializes rebalances against each other, Save, and Close.
+	// Lock order: rebalMu before mu.
+	rebalMu   sync.Mutex
+	rebalCfg  RebalanceConfig
+	rebalQuit chan struct{} // nil when the watcher is off
+	rebalDone chan struct{}
+	// moveHook, when non-nil, is called between the stages of a cut
+	// migration's persistence protocol; crash-recovery tests use it to
+	// capture mid-move directory states.
+	moveHook func(stage string)
+
 	snapshotDir string
+	onEvent     func(Event)
 
 	emitMu sync.Mutex // serializes OnEvent across shards
 
@@ -127,6 +174,8 @@ type Store struct {
 	inserts       atomic.Uint64
 	shardsScanned atomic.Uint64
 	shardsPruned  atomic.Uint64
+	rebalances    atomic.Uint64
+	rowsMigrated  atomic.Uint64
 
 	closeOnce sync.Once
 	closeErr  error
@@ -219,7 +268,7 @@ func Open(table *colstore.Store, workload []query.Query, bcfg core.Config, cfg C
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
-	return openShards(parts, idxs, workload, cfg)
+	return openShards(parts, idxs, workload, cfg, 1)
 }
 
 // shardWorkload filters workload down to the queries that can touch
@@ -240,26 +289,55 @@ func shardWorkload(parts Partitioner, s int, workload []query.Query) []query.Que
 }
 
 // openShards wraps already-built per-shard indexes in LiveStores and
-// assembles the Store. Shared by Open and Recover.
-func openShards(parts Partitioner, idxs []*core.Tsunami, workload []query.Query, cfg Config) (*Store, error) {
+// assembles the Store. Shared by Open and Recover; gen seeds the
+// partitioner generation (1 for a fresh store).
+func openShards(parts Partitioner, idxs []*core.Tsunami, workload []query.Query, cfg Config, gen uint64) (*Store, error) {
+	if cfg.Rebalance.CheckInterval > 0 {
+		if _, ok := parts.(*RangePartitioner); !ok {
+			return nil, errors.New("sharded: the rebalance watcher requires the learned range partitioner (Config.Learned)")
+		}
+	}
+	cfg.Rebalance.fill()
 	s := &Store{
-		parts:       parts,
 		dims:        idxs[0].Store().NumDims(),
 		snapshotDir: cfg.SnapshotDir,
 		shardFinals: cfg.SnapshotDir != "" && cfg.Live.SnapshotInterval > 0,
+		rebalCfg:    cfg.Rebalance,
+		onEvent:     cfg.OnEvent,
 	}
+	s.topo.Store(&topology{parts: parts, gen: gen})
 	s.shards = make([]*live.Store, len(idxs))
 	for i, idx := range idxs {
 		lc := cfg.Live
 		if cfg.SnapshotDir != "" {
 			lc.SnapshotPath = shardFile(cfg.SnapshotDir, i)
 		}
-		if cfg.OnEvent != nil {
+		if cfg.OnEvent != nil || cfg.SnapshotDir != "" {
 			i := i
+			dir := cfg.SnapshotDir
+			// Config.OnEvent overrides a caller's Live.OnEvent (documented
+			// on Config.OnEvent); with neither the wrapper exists only for
+			// the generation stamps and forwards to the per-shard callback
+			// the caller set, if any.
+			forward := func(ev live.Event) {
+				if cfg.OnEvent != nil {
+					s.emit(Event{Shard: i, Event: ev})
+				} else if cfg.Live.OnEvent != nil {
+					cfg.Live.OnEvent(ev)
+				}
+			}
 			lc.OnEvent = func(ev live.Event) {
-				s.emitMu.Lock()
-				defer s.emitMu.Unlock()
-				cfg.OnEvent(Event{Shard: i, Event: ev})
+				// Stamp the snapshot file the shard's loop just wrote with
+				// the current partitioner generation (see persist.go; the
+				// rebalancer pauses both migrating shards' maintenance, so
+				// a loop write never races a generation change that
+				// concerns its own shard).
+				if ev.Kind == live.EventSnapshot && dir != "" {
+					if err := writeShardGen(dir, i, s.topo.Load().gen); err != nil {
+						forward(live.Event{Kind: live.EventError, Err: err})
+					}
+				}
+				forward(ev)
 			}
 		}
 		s.shards[i] = live.Open(idx, shardWorkload(parts, i, workload), lc)
@@ -275,42 +353,92 @@ func openShards(parts Partitioner, idxs []*core.Tsunami, workload []query.Query,
 			return nil, err
 		}
 	}
+	if cfg.Rebalance.CheckInterval > 0 {
+		s.rebalQuit = make(chan struct{})
+		s.rebalDone = make(chan struct{})
+		go s.watchBalance()
+	}
 	return s, nil
+}
+
+// emit delivers one event to the configured callback, serialized.
+func (s *Store) emit(ev Event) {
+	if s.onEvent == nil {
+		return
+	}
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	s.onEvent(ev)
 }
 
 // NumShards returns the shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
 
-// Partitioner returns the row→shard assignment in use.
-func (s *Store) Partitioner() Partitioner { return s.parts }
+// Partitioner returns the row→shard assignment currently in use (a
+// rebalance publishes successors; see Generation).
+func (s *Store) Partitioner() Partitioner { return s.topo.Load().parts }
+
+// Generation returns the partitioner generation: it advances by one per
+// completed cut migration.
+func (s *Store) Generation() uint64 { return s.topo.Load().gen }
 
 // Shard returns shard i's LiveStore, for inspection and tests. Mutating
 // it directly bypasses the router — don't.
 func (s *Store) Shard(i int) *live.Store { return s.shards[i] }
 
-// route returns the shards q must visit and counts the pruning.
-func (s *Store) route(q query.Query) []int {
-	ids := s.parts.Shards(q, make([]int, 0, len(s.shards)))
+// countRoute records one successfully-routed query's pruning.
+func (s *Store) countRoute(scanned int) {
 	s.queries.Add(1)
-	s.shardsScanned.Add(uint64(len(ids)))
-	s.shardsPruned.Add(uint64(len(s.shards) - len(ids)))
-	return ids
+	s.shardsScanned.Add(uint64(scanned))
+	s.shardsPruned.Add(uint64(len(s.shards) - scanned))
+}
+
+// readStable runs fn against a stable topology, seqlock-style: if a
+// migration's commit window overlaps the attempt, the result is discarded
+// and the read retried once the window closes. Reads therefore never
+// block on a lock, yet never observe a half-migrated placement (rows
+// counted twice in source and destination, or in neither). fn reports how
+// many shards it scanned through scanned; pruning counters are updated
+// only for the attempt whose result is returned.
+func (s *Store) readStable(fn func(top *topology, scanned *int) colstore.ScanResult) colstore.ScanResult {
+	for attempt := 0; ; attempt++ {
+		g := s.migrating.Load()
+		if g&1 == 0 {
+			var scanned int
+			res := fn(s.topo.Load(), &scanned)
+			if s.migrating.Load() == g {
+				s.countRoute(scanned)
+				return res
+			}
+		}
+		if attempt < 4 {
+			runtime.Gosched()
+		} else {
+			// A migration commit is in flight; its cost is proportional to
+			// the moved rows, so back off instead of burning a core.
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
 }
 
 // Execute implements index.Index: route, execute the surviving shards on
 // the calling goroutine, merge the partial aggregates. Lock-free (each
-// shard read resolves that shard's current epoch); use an Executor with
-// IntraQuery for parallel scatter-gather.
+// shard read resolves that shard's current epoch; migration windows are
+// retried, not waited on); use an Executor with IntraQuery for parallel
+// scatter-gather.
 func (s *Store) Execute(q query.Query) colstore.ScanResult {
-	ids := s.route(q)
-	if len(ids) == 1 {
-		return s.shards[ids[0]].Execute(q)
-	}
-	var res colstore.ScanResult
-	for _, id := range ids {
-		res.Add(s.shards[id].Execute(q))
-	}
-	return res
+	return s.readStable(func(top *topology, scanned *int) colstore.ScanResult {
+		ids := top.parts.Shards(q, make([]int, 0, len(s.shards)))
+		*scanned = len(ids)
+		if len(ids) == 1 {
+			return s.shards[ids[0]].Execute(q)
+		}
+		var res colstore.ScanResult
+		for _, id := range ids {
+			res.Add(s.shards[id].Execute(q))
+		}
+		return res
+	})
 }
 
 // ExecuteParallelOn answers one query scatter-gather style: the surviving
@@ -320,56 +448,61 @@ func (s *Store) Execute(q query.Query) colstore.ScanResult {
 // tasks, so running them on a shared pool cannot deadlock. A nil submit
 // spawns one goroutine per task.
 func (s *Store) ExecuteParallelOn(q query.Query, workers int, submit func(task func())) colstore.ScanResult {
-	ids := s.route(q)
-	if workers > len(ids) {
-		workers = len(ids)
-	}
-	if workers <= 1 {
-		if len(ids) == 1 {
-			return s.shards[ids[0]].Execute(q)
+	return s.readStable(func(top *topology, scanned *int) colstore.ScanResult {
+		ids := top.parts.Shards(q, make([]int, 0, len(s.shards)))
+		*scanned = len(ids)
+		w := workers
+		if w > len(ids) {
+			w = len(ids)
 		}
+		if w <= 1 {
+			if len(ids) == 1 {
+				return s.shards[ids[0]].Execute(q)
+			}
+			var res colstore.ScanResult
+			for _, id := range ids {
+				res.Add(s.shards[id].Execute(q))
+			}
+			return res
+		}
+		sub := submit
+		if sub == nil {
+			sub = func(task func()) { go task() }
+		}
+		// Dynamic assignment: shard result sizes are skewed (pruning can
+		// leave one big shard and several small ones), so workers pull the
+		// next shard from a shared cursor.
+		var cursor atomic.Int64
+		partial := make([]colstore.ScanResult, w)
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			k := k
+			sub(func() {
+				defer wg.Done()
+				var res colstore.ScanResult
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(ids) {
+						break
+					}
+					res.Add(s.shards[ids[i]].Execute(q))
+				}
+				partial[k] = res
+			})
+		}
+		wg.Wait()
 		var res colstore.ScanResult
-		for _, id := range ids {
-			res.Add(s.shards[id].Execute(q))
+		for _, p := range partial {
+			res.Add(p)
 		}
 		return res
-	}
-	if submit == nil {
-		submit = func(task func()) { go task() }
-	}
-	// Dynamic assignment: shard result sizes are skewed (pruning can
-	// leave one big shard and several small ones), so workers pull the
-	// next shard from a shared cursor.
-	var cursor atomic.Int64
-	partial := make([]colstore.ScanResult, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		w := w
-		submit(func() {
-			defer wg.Done()
-			var res colstore.ScanResult
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(ids) {
-					break
-				}
-				res.Add(s.shards[ids[i]].Execute(q))
-			}
-			partial[w] = res
-		})
-	}
-	wg.Wait()
-	var res colstore.ScanResult
-	for _, p := range partial {
-		res.Add(p)
-	}
-	return res
+	})
 }
 
 // Name implements index.Index.
 func (s *Store) Name() string {
-	return fmt.Sprintf("ShardedStore[%s]", s.parts.String())
+	return fmt.Sprintf("ShardedStore[%s]", s.topo.Load().parts.String())
 }
 
 // SizeBytes implements index.Index: the sum of every shard's current
@@ -398,7 +531,10 @@ func (s *Store) Insert(row []int64) error {
 	if s.closed {
 		return errClosed
 	}
-	if err := s.shards[s.parts.ShardOf(row)].Insert(row); err != nil {
+	// Routing under the ingest gate: a migration publishes its topology
+	// while holding the gate exclusively, so the shard chosen here always
+	// matches the placement the routing layer advertises.
+	if err := s.shards[s.topo.Load().parts.ShardOf(row)].Insert(row); err != nil {
 		return err
 	}
 	s.inserts.Add(1)
@@ -421,21 +557,25 @@ func (s *Store) InsertBatch(rows [][]int64) error {
 			return fmt.Errorf("sharded: row has %d values, table has %d dims", len(row), s.dims)
 		}
 	}
-	// Shard ids are dense, so group into a shard-indexed slice (no map
-	// hashing on the ingest hot path).
-	groups := make([][][]int64, len(s.shards))
-	touched := 0
-	for _, row := range rows {
-		id := s.parts.ShardOf(row)
-		if groups[id] == nil {
-			touched++
-		}
-		groups[id] = append(groups[id], row)
-	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return errClosed
+	}
+	// Group under the ingest gate so the partitioner that routes the rows
+	// is the one their placement is published against (a migration cannot
+	// swap topologies mid-batch: it needs the gate exclusively). Shard ids
+	// are dense, so group into a shard-indexed slice (no map hashing on
+	// the ingest hot path).
+	parts := s.topo.Load().parts
+	groups := make([][][]int64, len(s.shards))
+	touched := 0
+	for _, row := range rows {
+		id := parts.ShardOf(row)
+		if groups[id] == nil {
+			touched++
+		}
+		groups[id] = append(groups[id], row)
 	}
 	var err error
 	if touched == 1 {
@@ -507,6 +647,9 @@ func (s *Store) Flush() error {
 type Stats struct {
 	Shards      int
 	Partitioner string
+	// Generation is the partitioner generation; it advances by one per
+	// completed cut migration.
+	Generation uint64
 
 	// Queries counts routed queries; ShardsScanned and ShardsPruned sum,
 	// per query, how many shards executed vs. were pruned by the router
@@ -515,6 +658,11 @@ type Stats struct {
 	Inserts       uint64
 	ShardsScanned uint64
 	ShardsPruned  uint64
+
+	// Rebalances counts completed rebalance cycles; RowsMigrated sums the
+	// rows they moved between shards.
+	Rebalances   uint64
+	RowsMigrated uint64
 
 	// Sums over shards.
 	ClusteredRows   int
@@ -529,13 +677,17 @@ type Stats struct {
 
 // Stats reports current counters. Safe from any goroutine.
 func (s *Store) Stats() Stats {
+	top := s.topo.Load()
 	st := Stats{
 		Shards:        len(s.shards),
-		Partitioner:   s.parts.String(),
+		Partitioner:   top.parts.String(),
+		Generation:    top.gen,
 		Queries:       s.queries.Load(),
 		Inserts:       s.inserts.Load(),
 		ShardsScanned: s.shardsScanned.Load(),
 		ShardsPruned:  s.shardsPruned.Load(),
+		Rebalances:    s.rebalances.Load(),
+		RowsMigrated:  s.rowsMigrated.Load(),
 		PerShard:      make([]live.Stats, len(s.shards)),
 	}
 	for i, sh := range s.shards {
@@ -557,9 +709,18 @@ func (s *Store) Stats() Stats {
 // snapshot interval). Reads against the Store remain valid after Close.
 func (s *Store) Close() error {
 	s.closeOnce.Do(func() {
+		// Stop the rebalance watcher first, then wait out any in-flight
+		// rebalance (it holds rebalMu end to end) before tearing the
+		// shards down under it.
+		if s.rebalQuit != nil {
+			close(s.rebalQuit)
+			<-s.rebalDone
+		}
+		s.rebalMu.Lock()
 		s.mu.Lock()
 		s.closed = true
 		s.mu.Unlock()
+		s.rebalMu.Unlock()
 		errs := make([]error, len(s.shards), len(s.shards)+1)
 		var wg sync.WaitGroup
 		for i, sh := range s.shards {

@@ -406,22 +406,10 @@ func TestShardedRejectsShardSnapshotPath(t *testing.T) {
 	}
 }
 
-// combined appends extra rows to a copy of st.
+// combined appends extra rows to a copy of st (shared oracle helper).
 func combined(t *testing.T, st *colstore.Store, extra [][]int64) *colstore.Store {
 	t.Helper()
-	d := st.NumDims()
-	cols := make([][]int64, d)
-	for j := 0; j < d; j++ {
-		cols[j] = append([]int64(nil), st.Column(j)...)
-		for _, r := range extra {
-			cols[j] = append(cols[j], r[j])
-		}
-	}
-	out, err := colstore.FromColumns(cols, st.Names())
-	if err != nil {
-		t.Fatal(err)
-	}
-	return out
+	return testutil.CombineRows(st, extra)
 }
 
 var _ index.Index = (*Store)(nil)

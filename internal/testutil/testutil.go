@@ -5,6 +5,7 @@ package testutil
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/colstore"
@@ -116,4 +117,82 @@ func CheckMatchesFullScan(t *testing.T, idx index.Index, truth *colstore.Store, 
 				idx.Name(), i, q, got.Count, got.Sum, want.Count, want.Sum)
 		}
 	}
+}
+
+// CombineRows returns a copy of st with extra rows appended — the ground
+// truth builder for ingest tests. Panics on malformed rows (test fixture
+// bugs, not runtime conditions).
+func CombineRows(st *colstore.Store, extra [][]int64) *colstore.Store {
+	d := st.NumDims()
+	cols := make([][]int64, d)
+	for j := 0; j < d; j++ {
+		cols[j] = append(append([]int64(nil), st.Column(j)...), make([]int64, len(extra))...)
+		for i, row := range extra {
+			cols[j][st.NumRows()+i] = row[j]
+		}
+	}
+	out, err := colstore.FromColumns(cols, st.Names())
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Oracle is the naive full-scan aggregate reference for serving tests:
+// writers record every row they ingest (concurrently, if they like), and
+// Check verifies an index agrees with a full scan over everything
+// recorded so far. It is the machine-checked ground truth the randomized
+// harnesses quiesce against.
+type Oracle struct {
+	base *colstore.Store
+
+	mu   sync.Mutex
+	rows [][]int64
+}
+
+// NewOracle starts an oracle over the store's initial rows.
+func NewOracle(base *colstore.Store) *Oracle { return &Oracle{base: base} }
+
+// Add records ingested rows (defensively copied). Safe for concurrent
+// writers.
+func (o *Oracle) Add(rows ...[]int64) {
+	copied := make([][]int64, len(rows))
+	for i, r := range rows {
+		copied[i] = append([]int64(nil), r...)
+	}
+	o.mu.Lock()
+	o.rows = append(o.rows, copied...)
+	o.mu.Unlock()
+}
+
+// NumRows returns the oracle's current row count (base + recorded).
+func (o *Oracle) NumRows() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.base.NumRows() + len(o.rows)
+}
+
+// Snapshot materializes the oracle's current rows as a store. Callers
+// must have quiesced their writers (rows recorded after the snapshot are
+// not in it).
+func (o *Oracle) Snapshot() *colstore.Store {
+	o.mu.Lock()
+	rows := append([][]int64(nil), o.rows...)
+	o.mu.Unlock()
+	return CombineRows(o.base, rows)
+}
+
+// Check fails the test unless idx agrees with a full scan of the oracle's
+// current rows on every query — and, via the parameterless COUNT(*) that
+// is always appended, that no row was lost or duplicated.
+func (o *Oracle) Check(t *testing.T, idx index.Index, qs []query.Query) {
+	t.Helper()
+	truth := o.Snapshot()
+	probe := make([]query.Query, 0, len(qs)+1+truth.NumDims())
+	probe = append(probe, qs...)
+	probe = append(probe, query.NewCount())
+	for j := 0; j < truth.NumDims(); j++ {
+		probe = append(probe, query.NewSum(j))
+	}
+	CheckMatchesFullScan(t, idx, truth, probe)
 }

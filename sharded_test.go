@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	tsunami "repro"
+	"repro/internal/testutil"
 )
 
 // shardedSetup builds a taxi table, its workload, and a ShardedStore.
@@ -46,6 +47,7 @@ func TestShardedEqualsUnshardedUnderIngest(t *testing.T) {
 				tsunami.New(ds.Store, work, tsunami.Options{OptimizerIters: 2, MaxOptQueries: 32}),
 				nil, tsunami.LiveOptions{MergeThreshold: 500})
 			defer ls.Close()
+			oracle := testutil.NewOracle(ds.Store)
 
 			const writers = 4
 			var wg sync.WaitGroup
@@ -75,6 +77,7 @@ func TestShardedEqualsUnshardedUnderIngest(t *testing.T) {
 							t.Errorf("live writer %d: %v", w, err)
 							return
 						}
+						oracle.Add(batch...)
 					}
 				}()
 			}
@@ -126,6 +129,9 @@ func TestShardedEqualsUnshardedUnderIngest(t *testing.T) {
 						a.Count, a.Sum, a.Avg(), b.Count, b.Sum, b.Avg(), q)
 				}
 			}
+			// And both against the shared full-scan oracle.
+			oracle.Check(t, ss, probe)
+			oracle.Check(t, ls, probe)
 			t.Logf("stats: %d queries, fan-out %.2f of %d shards",
 				st.Queries, float64(st.ShardsScanned)/float64(st.Queries), st.Shards)
 		})

@@ -24,7 +24,11 @@ import (
 //     shard has its own copy-on-write writer section), reads scatter to
 //     the shards the partitioner cannot prune and gather their partial
 //     aggregates, and each shard runs its own maintenance. Save/Recover
-//     coordinate a consistent multi-shard snapshot.
+//     coordinate a consistent multi-shard snapshot, and an online
+//     rebalancer (ShardedOptions.Rebalance / ShardedStore.Rebalance)
+//     re-learns the range cuts and migrates rows between shards when
+//     skewed ingest unbalances them — without blocking readers, exactly,
+//     and crash-consistently.
 
 // LiveStore is a concurrently-writable serving layer over a Tsunami
 // index. It implements Index (reads execute against the current epoch)
@@ -96,8 +100,19 @@ func RecoverLiveStore(r io.Reader, optimized []Query, o LiveOptions) (*LiveStore
 type ShardedStore = sharded.Store
 
 // ShardedOptions configures a ShardedStore: shard count, partitioner
-// choice, the per-shard LiveOptions, and the snapshot directory.
+// choice, the per-shard LiveOptions, the snapshot directory, and the
+// online rebalancer (ShardedOptions.Rebalance).
 type ShardedOptions = sharded.Config
+
+// RebalanceOptions tunes the online shard rebalancer: a background
+// watcher compares shard sizes every CheckInterval and, when the largest
+// shard exceeds MaxSkew times the mean, re-learns the range partitioner's
+// equi-depth cuts from a sample of the live shards and migrates rows
+// between neighbors — readers stay lock-free and exact throughout, and a
+// crash mid-migration recovers consistently (the snapshot manifest
+// carries the partitioner generation). ShardedStore.Rebalance triggers
+// one manually.
+type RebalanceOptions = sharded.RebalanceConfig
 
 // ShardedStats is a point-in-time summary of a ShardedStore, including
 // router pruning counters and per-shard LiveStats.
