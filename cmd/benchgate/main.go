@@ -1,0 +1,210 @@
+// Command benchgate is the benchmark-regression gate CI runs on every PR:
+// it parses `go test -bench` output, extracts the ns/op of the gated
+// benchmarks, and compares each against a checked-in baseline, failing
+// (exit 1) when a benchmark is slower than baseline by more than its
+// allowed tolerance.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkScanKernels -benchtime 200ms ./internal/colstore | \
+//	    go run ./cmd/benchgate -baseline .github/scan-baseline.json
+//
+//	go test ... -bench ... | go run ./cmd/benchgate -baseline f.json -update
+//
+// The baseline file maps a benchmark name prefix (sub-benchmark names as
+// printed, without the -<GOMAXPROCS> suffix) to its reference ns/op and a
+// relative tolerance. -update rewrites the baseline from the observed run
+// instead of gating, which is how the reference numbers are refreshed
+// after an intentional perf change (commit the result).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one gated benchmark in the baseline file.
+type Entry struct {
+	// NsPerOp is the reference time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Tolerance is the allowed relative slowdown before the gate fails
+	// (0.20 = fail when observed > 1.2x baseline). Generous tolerances
+	// absorb runner jitter; a real kernel regression is far larger.
+	Tolerance float64 `json:"tolerance"`
+}
+
+// Baseline is the checked-in reference file.
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note       string           `json:"note,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "baseline JSON file (required)")
+		update       = flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+		tolerance    = flag.Float64("tolerance", 0.20, "tolerance written by -update")
+		minSpeedup   = flag.Float64("min-speedup", 0, "also require kernel/scalar speedup >= this, measured within this run (0 disables)")
+		kernelPrefix = flag.String("kernel-prefix", "BenchmarkScanKernels", "benchmark prefix of the kernel side of the speedup gate")
+		scalarPrefix = flag.String("scalar-prefix", "BenchmarkScanScalar", "benchmark prefix of the scalar side of the speedup gate")
+	)
+	flag.Parse()
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
+		os.Exit(2)
+	}
+
+	observed, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(observed) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results on stdin")
+		os.Exit(2)
+	}
+
+	if *update {
+		if err := writeBaseline(*baselinePath, observed, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(observed), *baselinePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+
+	failed := 0
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		entry := base.Benchmarks[name]
+		got, ok := observed[name]
+		if !ok {
+			fmt.Printf("MISSING  %-40s baseline %.0f ns/op, not in this run\n", name, entry.NsPerOp)
+			failed++
+			continue
+		}
+		limit := entry.NsPerOp * (1 + entry.Tolerance)
+		ratio := got / entry.NsPerOp
+		if got > limit {
+			fmt.Printf("FAIL     %-40s %.0f ns/op vs baseline %.0f (%.2fx, limit %.2fx)\n",
+				name, got, entry.NsPerOp, ratio, 1+entry.Tolerance)
+			failed++
+		} else {
+			fmt.Printf("ok       %-40s %.0f ns/op vs baseline %.0f (%.2fx)\n",
+				name, got, entry.NsPerOp, ratio)
+		}
+	}
+	// Relative gate: kernel vs scalar measured in the same run on the same
+	// machine, so it is immune to the runner-hardware variance the absolute
+	// baseline gate is exposed to. Requires the run to include both
+	// benchmark families.
+	if *minSpeedup > 0 {
+		pairs := 0
+		kernelNames := make([]string, 0, len(observed))
+		for name := range observed {
+			if strings.HasPrefix(name, *kernelPrefix) {
+				kernelNames = append(kernelNames, name)
+			}
+		}
+		sort.Strings(kernelNames)
+		for _, name := range kernelNames {
+			kernelNs := observed[name]
+			scalarNs, ok := observed[*scalarPrefix+name[len(*kernelPrefix):]]
+			if !ok {
+				continue
+			}
+			pairs++
+			speedup := scalarNs / kernelNs
+			if speedup < *minSpeedup {
+				fmt.Printf("FAIL     %-40s %.2fx over scalar, want >= %.2fx\n", name, speedup, *minSpeedup)
+				failed++
+			} else {
+				fmt.Printf("ok       %-40s %.2fx over scalar\n", name, speedup)
+			}
+		}
+		if pairs == 0 {
+			fmt.Printf("benchgate: -min-speedup set but no %s/%s pairs in this run\n", *kernelPrefix, *scalarPrefix)
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchgate: %d benchmark(s) regressed past tolerance\n", failed)
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts "Benchmark<Name>[-P] <N> <ns> ns/op ..." lines,
+// keyed by name with the GOMAXPROCS suffix stripped. Repeated runs of one
+// benchmark keep the fastest (the standard way to de-noise).
+func parseBench(r *os.File) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // echo, so the gate's input stays in the CI log
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Find the "ns/op" column; its left neighbor is the value.
+		for i := 2; i < len(fields); i++ {
+			if fields[i] != "ns/op" {
+				continue
+			}
+			ns, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad ns/op value in %q: %v", line, err)
+			}
+			name := fields[0]
+			if cut := strings.LastIndex(name, "-"); cut > 0 {
+				if _, err := strconv.Atoi(name[cut+1:]); err == nil {
+					name = name[:cut]
+				}
+			}
+			if prev, ok := out[name]; !ok || ns < prev {
+				out[name] = ns
+			}
+			break
+		}
+	}
+	return out, sc.Err()
+}
+
+// writeBaseline emits a fresh baseline file from the observed run.
+func writeBaseline(path string, observed map[string]float64, tol float64) error {
+	base := Baseline{
+		Note: "regenerate: go test -run '^$' -bench BenchmarkScanKernels -benchtime 200ms ./internal/colstore | go run ./cmd/benchgate -baseline <this file> -update",
+		Benchmarks: make(map[string]Entry, len(observed)),
+	}
+	for name, ns := range observed {
+		base.Benchmarks[name] = Entry{NsPerOp: ns, Tolerance: tol}
+	}
+	raw, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

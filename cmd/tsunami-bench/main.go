@@ -6,26 +6,33 @@
 //	tsunami-bench -experiment fig7 -rows 200000
 //	tsunami-bench -experiment sharded
 //	tsunami-bench -experiment all -quick
+//	tsunami-bench -experiment scan,concurrency,sharded -quick -json > BENCH.json
 //
 // Experiments: tab3, tab4, fig7, fig8, fig9a, fig9b, fig10, fig11a,
-// fig11b, fig12a, fig12b, ablation, concurrency, sharded, all.
+// fig11b, fig12a, fig12b, ablation, scan, concurrency, sharded, rebalance,
+// all. -experiment accepts a comma-separated list; with -json the run
+// emits one machine-readable bench.Report instead of tables (only scan,
+// concurrency, and sharded have JSON reporters — CI uploads that output as
+// the per-PR BENCH artifact).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (tab3, tab4, fig7..fig12b, ablation, concurrency, sharded, rebalance, all)")
+		experiment = flag.String("experiment", "all", "comma-separated experiment ids (tab3, tab4, fig7..fig12b, ablation, scan, concurrency, sharded, rebalance, all)")
 		rows       = flag.Int("rows", 0, "base dataset rows (default 200000; paper used 184M-300M)")
 		perType    = flag.Int("queries-per-type", 0, "queries per query type (default 100, as in the paper)")
 		seed       = flag.Int64("seed", 42, "generator seed")
 		quick      = flag.Bool("quick", false, "small fast run for smoke testing")
+		asJSON     = flag.Bool("json", false, "emit one machine-readable JSON report (scan, concurrency, sharded only)")
 	)
 	flag.Parse()
 
@@ -35,8 +42,21 @@ func main() {
 		Seed:           *seed,
 		Quick:          *quick,
 	}
-	if err := bench.Run(os.Stdout, *experiment, o); err != nil {
-		fmt.Fprintln(os.Stderr, "tsunami-bench:", err)
-		os.Exit(2)
+	ids := strings.Split(*experiment, ",")
+	for i, id := range ids {
+		ids[i] = strings.TrimSpace(id)
+	}
+	if *asJSON {
+		if err := bench.RunJSON(os.Stdout, ids, o); err != nil {
+			fmt.Fprintln(os.Stderr, "tsunami-bench:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	for _, id := range ids {
+		if err := bench.Run(os.Stdout, id, o); err != nil {
+			fmt.Fprintln(os.Stderr, "tsunami-bench:", err)
+			os.Exit(2)
+		}
 	}
 }

@@ -22,6 +22,16 @@ type run struct {
 	exact      bool
 }
 
+// PhysRange is one contiguous physical row range [Start, End) a query's
+// execution scans, with the exactness flag colstore.ScanRange consumes.
+// Ranges are absolute positions in the finalized store, so callers may
+// scan them directly — in any order, or split across goroutines — and
+// merge the partial ScanResults.
+type PhysRange struct {
+	Start, End int
+	Exact      bool
+}
+
 // Execute answers q against the grid's physical range. A built Grid is
 // immutable; all per-query state lives in ctx, so any number of goroutines
 // may Execute concurrently against the same Grid as long as each uses its
@@ -33,22 +43,45 @@ func (g *Grid) Execute(q query.Query, ctx *ExecContext) (colstore.ScanResult, Ex
 	}
 	var res colstore.ScanResult
 	var st ExecStats
+	ctx.phys = g.planInto(q, ctx, ctx.phys[:0], &st)
+	for _, pr := range ctx.phys {
+		g.store.ScanRange(q, pr.Start, pr.End, pr.Exact, &res)
+	}
+	return res, st
+}
+
+// PlanRanges appends to dst the physical row ranges Execute would scan for
+// q and returns the extended slice plus the traversal stats. Scanning every
+// returned range with q and merging the results is exactly Execute; the
+// parallel executor uses this to split one grid's scan work across workers
+// at sub-region granularity.
+func (g *Grid) PlanRanges(q query.Query, ctx *ExecContext, dst []PhysRange) ([]PhysRange, ExecStats) {
+	if ctx == nil {
+		ctx = GetExecContext()
+		defer PutExecContext(ctx)
+	}
+	var st ExecStats
+	return g.planInto(q, ctx, dst, &st), st
+}
+
+// planInto computes the ranges Execute scans: enumerate intersecting cell
+// runs, refine per cell by the sort dimension when applicable, and append
+// the outlier buffer.
+func (g *Grid) planInto(q query.Query, ctx *ExecContext, dst []PhysRange, st *ExecStats) []PhysRange {
 	if g.n == 0 {
-		return res, st
+		return dst
 	}
 
 	effLo, effHi, ok := g.effectiveFilters(q, ctx)
 	if !ok {
 		// The functional-mapping bounds prove no INLIER can match, but the
 		// bounds do not cover the outlier buffer — scan it regardless.
-		g.scanOutliers(q, &res, &st)
-		return res, st
+		return g.planOutliers(dst, st)
 	}
 
 	runs := g.enumerate(q, effLo, effHi, ctx)
 	if len(runs) == 0 {
-		g.scanOutliers(q, &res, &st)
-		return res, st
+		return g.planOutliers(dst, st)
 	}
 	// walk emits runs in row-major order, so they are already sorted except
 	// in rare conditional-boundary cases; sort only when needed.
@@ -80,7 +113,7 @@ func (g *Grid) Execute(q query.Query, ctx *ExecContext) (colstore.ScanResult, Ex
 				if lo >= hi {
 					continue
 				}
-				g.store.ScanRange(q, lo, hi, r.exact, &res)
+				dst = append(dst, PhysRange{Start: lo, End: hi, Exact: r.exact})
 				st.CellRanges++
 				st.CellsVisited++
 			}
@@ -90,23 +123,22 @@ func (g *Grid) Execute(q query.Query, ctx *ExecContext) (colstore.ScanResult, Ex
 		if s >= e {
 			continue
 		}
-		g.store.ScanRange(q, s, e, r.exact, &res)
+		dst = append(dst, PhysRange{Start: s, End: e, Exact: r.exact})
 		st.CellRanges++
 		st.CellsVisited += r.end - r.start + 1
 	}
-	g.scanOutliers(q, &res, &st)
-	return res, st
+	return g.planOutliers(dst, st)
 }
 
-// scanOutliers checks the rows diverted by robust functional mappings
+// planOutliers appends the rows diverted by robust functional mappings
 // (§8); they live after the last cell and must be checked by every query.
-func (g *Grid) scanOutliers(q query.Query, res *colstore.ScanResult, st *ExecStats) {
+func (g *Grid) planOutliers(dst []PhysRange, st *ExecStats) []PhysRange {
 	if g.nOutliers == 0 {
-		return
+		return dst
 	}
 	s := g.offsets[len(g.offsets)-1]
-	g.store.ScanRange(q, s, s+g.nOutliers, false, res)
 	st.CellRanges++
+	return append(dst, PhysRange{Start: s, End: s + g.nOutliers})
 }
 
 // effectiveFilters combines the query's own filters with ranges induced by

@@ -17,6 +17,7 @@ type ExecContext struct {
 	ranges       []dimRange
 	idx          []int
 	runs         []run
+	phys         []PhysRange
 }
 
 // NewExecContext returns an empty context. Buffers grow on first use and are

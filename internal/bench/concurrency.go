@@ -13,41 +13,59 @@ import (
 	"repro/internal/workload"
 )
 
-// Concurrency reports batch query throughput through the public Executor
-// worker pool at 1, 4, and NumCPU workers, on the Fig 7 taxi query mix
-// against one shared Tsunami index (no per-goroutine cloning). The paper's
-// evaluation is single-threaded (§6.1); this experiment measures the
-// concurrent serving path the reproduction adds on top of it, alongside an
-// intra-query row where each single query's regions are split across the
-// pool.
-func Concurrency(w io.Writer, o Options) {
+// PoolPoint is batch throughput at one worker count.
+type PoolPoint struct {
+	Workers int     `json:"workers"`
+	QPS     float64 `json:"qps"`
+	Speedup float64 `json:"speedup_vs_1"`
+}
+
+// ConcurrencyResult is the concurrency experiment's machine-readable
+// output.
+type ConcurrencyResult struct {
+	Rows    int         `json:"rows"`
+	Queries int         `json:"queries"`
+	Pool    []PoolPoint `json:"pool"`
+	// Intra-query: one query at a time, its regions and sub-region chunks
+	// spread across the full pool.
+	IntraWorkers int     `json:"intra_query_workers"`
+	IntraQPS     float64 `json:"intra_query_qps"`
+	IntraSpeedup float64 `json:"intra_query_speedup_vs_1"`
+}
+
+// RunConcurrency measures batch query throughput through the public
+// Executor worker pool at 1, 4, and NumCPU workers, on the Fig 7 taxi
+// query mix against one shared Tsunami index (no per-goroutine cloning).
+// The paper's evaluation is single-threaded (§6.1); this experiment
+// measures the concurrent serving path the reproduction adds on top of it,
+// alongside an intra-query run where each single query's regions — and,
+// below that, block-granular chunks of each region's planned scan ranges —
+// are split across the pool.
+func RunConcurrency(o Options) (*ConcurrencyResult, error) {
 	o = o.fill()
-	section(w, "Concurrency", "Executor throughput vs worker count (Fig 7 taxi mix)")
 	ds := datasets.Taxi(o.Rows, o.Seed+1)
 	work := workload.ForDataset(ds, o.QueriesPerType, o.Seed+101)
 	idx := core.Build(ds.Store, work, o.tsunamiConfig(core.FullTsunami))
 	if err := checkCorrect(idx, ds.Store, work); err != nil {
-		fmt.Fprintf(w, "CORRECTNESS FAILURE: %v\n", err)
-		return
+		return nil, err
 	}
 
-	counts := dedupInts([]int{1, 4, runtime.NumCPU()})
-	t := newTable("workers", "throughput (q/s)", "speedup vs 1 worker")
+	res := &ConcurrencyResult{Rows: o.Rows, Queries: len(work)}
 	base := 0.0
-	for _, n := range counts {
+	for _, n := range dedupInts([]int{1, 4, runtime.NumCPU()}) {
 		ex := tsunami.NewExecutor(idx, tsunami.ExecutorOptions{Workers: n})
 		qps := batchThroughput(ex, work)
 		ex.Close()
 		if base == 0 {
 			base = qps
 		}
-		t.add(fmt.Sprintf("%d", n), fmt.Sprintf("%.0f", qps), fmt.Sprintf("%.2fx", qps/base))
+		res.Pool = append(res.Pool, PoolPoint{Workers: n, QPS: qps, Speedup: qps / base})
 	}
-	t.print(w)
 
-	// Intra-query parallelism: one query at a time, its regions spread
-	// across the pool. Wins on queries routed to many regions; the table
-	// shows how much of the batch speedup a single large query can recover.
+	// Intra-query parallelism: one query at a time, its work spread across
+	// the pool. Wins on queries routed to many regions or to few huge ones
+	// (the chunked sub-region path); the number shows how much of the
+	// batch speedup a single query can recover.
 	ex := tsunami.NewExecutor(idx, tsunami.ExecutorOptions{Workers: runtime.NumCPU(), IntraQuery: true})
 	start := time.Now()
 	passes := 0
@@ -57,10 +75,28 @@ func Concurrency(w io.Writer, o Options) {
 		}
 		passes++
 	}
-	qps := float64(passes*len(work)) / time.Since(start).Seconds()
+	res.IntraWorkers = runtime.NumCPU()
+	res.IntraQPS = float64(passes*len(work)) / time.Since(start).Seconds()
+	res.IntraSpeedup = res.IntraQPS / base
 	ex.Close()
+	return res, nil
+}
+
+// Concurrency prints the Executor throughput experiment.
+func Concurrency(w io.Writer, o Options) {
+	section(w, "Concurrency", "Executor throughput vs worker count (Fig 7 taxi mix)")
+	r, err := RunConcurrency(o)
+	if err != nil {
+		fmt.Fprintf(w, "CORRECTNESS FAILURE: %v\n", err)
+		return
+	}
+	t := newTable("workers", "throughput (q/s)", "speedup vs 1 worker")
+	for _, p := range r.Pool {
+		t.add(fmt.Sprintf("%d", p.Workers), fmt.Sprintf("%.0f", p.QPS), fmt.Sprintf("%.2fx", p.Speedup))
+	}
+	t.print(w)
 	fmt.Fprintf(w, "intra-query (%d workers, one query at a time): %.0f q/s (%.2fx vs 1 worker)\n",
-		runtime.NumCPU(), qps, qps/base)
+		r.IntraWorkers, r.IntraQPS, r.IntraSpeedup)
 }
 
 // dedupInts drops repeated values, preserving order (NumCPU may equal one

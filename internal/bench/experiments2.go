@@ -235,6 +235,7 @@ func All(w io.Writer, o Options) {
 	Fig12a(w, o)
 	Fig12b(w, o)
 	Ablations(w, o)
+	Scan(w, o)
 	Concurrency(w, o)
 	Sharded(w, o)
 	Rebalance(w, o)
@@ -267,6 +268,8 @@ func Run(w io.Writer, id string, o Options) error {
 		Fig12b(w, o)
 	case "ablation":
 		Ablations(w, o)
+	case "scan":
+		Scan(w, o)
 	case "concurrency":
 		Concurrency(w, o)
 	case "sharded":
@@ -276,7 +279,7 @@ func Run(w io.Writer, id string, o Options) error {
 	case "all":
 		All(w, o)
 	default:
-		return fmt.Errorf("unknown experiment %q (tab3, tab4, fig7, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, ablation, concurrency, sharded, rebalance, all)", id)
+		return fmt.Errorf("unknown experiment %q (tab3, tab4, fig7, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, ablation, scan, concurrency, sharded, rebalance, all)", id)
 	}
 	return nil
 }

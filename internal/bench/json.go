@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// Report is the machine-readable BENCH artifact tsunami-bench -json emits.
+// CI runs the JSON-capable experiments in -quick mode on every PR and
+// uploads the result (and commits one per PR as BENCH_<n>.json), so the
+// repo accumulates a benchmark trajectory tools can diff across PRs.
+type Report struct {
+	Schema        string `json:"schema"` // "tsunami-bench/v1"
+	GeneratedUnix int64  `json:"generated_unix"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+
+	Options struct {
+		Rows           int   `json:"rows"`
+		QueriesPerType int   `json:"queries_per_type"`
+		Seed           int64 `json:"seed"`
+		Quick          bool  `json:"quick"`
+	} `json:"options"`
+
+	// Experiments maps experiment id to its typed result struct
+	// (ScanKernelsResult, ConcurrencyResult, ShardedResult).
+	Experiments map[string]any `json:"experiments"`
+}
+
+// jsonRunners are the experiments with machine-readable reporters. The
+// table-printing experiments reproduce paper figures for humans; these
+// three measure the serving-layer claims CI tracks over time.
+var jsonRunners = map[string]func(Options) (any, error){
+	"scan": func(o Options) (any, error) { return RunScanKernels(o), nil },
+	"concurrency": func(o Options) (any, error) {
+		return RunConcurrency(o)
+	},
+	"sharded": func(o Options) (any, error) {
+		return RunSharded(o)
+	},
+}
+
+// RunJSON runs the given experiment ids and writes one indented JSON
+// Report to w. Unlike the text experiments, any failure (build or
+// correctness) aborts with an error instead of printing a failure row, so
+// CI can gate on the exit code.
+func RunJSON(w io.Writer, ids []string, o Options) error {
+	o = o.fill()
+	rep := Report{
+		Schema:        "tsunami-bench/v1",
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Experiments:   make(map[string]any, len(ids)),
+	}
+	rep.Options.Rows = o.Rows
+	rep.Options.QueriesPerType = o.QueriesPerType
+	rep.Options.Seed = o.Seed
+	rep.Options.Quick = o.Quick
+	for _, id := range ids {
+		run, ok := jsonRunners[id]
+		if !ok {
+			return fmt.Errorf("experiment %q has no JSON reporter (have: scan, concurrency, sharded)", id)
+		}
+		res, err := run(o)
+		if err != nil {
+			return fmt.Errorf("experiment %q: %w", id, err)
+		}
+		rep.Experiments[id] = res
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/query"
+)
+
+// ScanShapePoint is the measured scan throughput of one (agg x
+// filter-count) kernel shape, in millions of rows per second.
+type ScanShapePoint struct {
+	Shape string `json:"shape"`
+	// KernelMRows and ScalarMRows are single-thread throughputs of the
+	// branch-free block kernels and the retained scalar oracle.
+	KernelMRows float64 `json:"kernel_mrows_per_s"`
+	ScalarMRows float64 `json:"scalar_mrows_per_s"`
+	Speedup     float64 `json:"kernel_speedup"`
+	// SaturatedMRows is aggregate kernel throughput with one scanning
+	// goroutine per CPU — the memory-bottleneck regime the kernels target.
+	SaturatedMRows float64 `json:"kernel_mrows_per_s_saturated"`
+}
+
+// ScanKernelsResult is the scan experiment's machine-readable output.
+type ScanKernelsResult struct {
+	Rows    int              `json:"rows"`
+	Dims    int              `json:"dims"`
+	Threads int              `json:"saturated_threads"`
+	Shapes  []ScanShapePoint `json:"shapes"`
+}
+
+// RunScanKernels measures raw colstore scan throughput — kernels vs the
+// scalar oracle per shape, single-thread and with every CPU scanning.
+func RunScanKernels(o Options) *ScanKernelsResult {
+	o = o.fill()
+	rows := o.Rows * 4 // raw scans are fast; more rows = steadier numbers
+	if rows < 1<<17 {
+		rows = 1 << 17
+	}
+	const dims = 4
+	rng := rand.New(rand.NewSource(o.Seed))
+	cols := make([][]int64, dims)
+	for j := range cols {
+		c := make([]int64, rows)
+		for i := range c {
+			c[i] = rng.Int63n(1_000_000)
+		}
+		cols[j] = c
+	}
+	st, err := colstore.FromColumns(cols, nil)
+	if err != nil {
+		panic("bench: " + err.Error()) // columns are equal-length by construction
+	}
+
+	threads := runtime.GOMAXPROCS(0)
+	res := &ScanKernelsResult{Rows: rows, Dims: dims, Threads: threads}
+	window := 120 * time.Millisecond
+	if o.Quick {
+		window = 60 * time.Millisecond
+	}
+	// The shapes are the canonical colstore.KernelBenchShapes, so this
+	// experiment and the CI-gated BenchmarkScanKernels measure the same
+	// thing by construction.
+	for _, sh := range colstore.KernelBenchShapes() {
+		kernel := scanMRows(st, sh.Query, window, false)
+		scalar := scanMRows(st, sh.Query, window, true)
+		p := ScanShapePoint{
+			Shape:          sh.Name,
+			KernelMRows:    kernel,
+			ScalarMRows:    scalar,
+			SaturatedMRows: scanMRowsParallel(st, sh.Query, window, threads),
+		}
+		if scalar > 0 {
+			p.Speedup = kernel / scalar
+		}
+		res.Shapes = append(res.Shapes, p)
+	}
+	return res
+}
+
+// scanMRows measures single-thread full-table scan throughput in Mrows/s.
+func scanMRows(st *colstore.Store, q query.Query, window time.Duration, scalar bool) float64 {
+	n := st.NumRows()
+	scan := func() {
+		var res colstore.ScanResult
+		if scalar {
+			st.ScanRangeScalar(q, 0, n, false, &res)
+		} else {
+			st.ScanRange(q, 0, n, false, &res)
+		}
+	}
+	scan() // warm-up
+	passes := 0
+	start := time.Now()
+	for time.Since(start) < window || passes < 2 {
+		scan()
+		passes++
+	}
+	return float64(passes) * float64(n) / time.Since(start).Seconds() / 1e6
+}
+
+// scanMRowsParallel measures aggregate kernel throughput with `threads`
+// goroutines scanning concurrently (each its own full pass, the
+// saturated-pool regime).
+func scanMRowsParallel(st *colstore.Store, q query.Query, window time.Duration, threads int) float64 {
+	n := st.NumRows()
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Since(start) < window {
+				var res colstore.ScanResult
+				st.ScanRange(q, 0, n, false, &res)
+				total.Add(int64(n))
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(total.Load()) / time.Since(start).Seconds() / 1e6
+}
+
+// Scan prints the scan-kernel experiment: the microbenchmark behind the
+// branch-free ScanRange rewrite, at harness scale.
+func Scan(w io.Writer, o Options) {
+	r := RunScanKernels(o)
+	section(w, "Scan", fmt.Sprintf("Branch-free scan kernels vs scalar oracle (%d rows, %d dims)", r.Rows, r.Dims))
+	t := newTable("shape", "kernel (Mrows/s)", "scalar (Mrows/s)", "speedup", fmt.Sprintf("saturated x%d (Mrows/s)", r.Threads))
+	for _, p := range r.Shapes {
+		t.add(p.Shape,
+			fmt.Sprintf("%.0f", p.KernelMRows),
+			fmt.Sprintf("%.0f", p.ScalarMRows),
+			fmt.Sprintf("%.2fx", p.Speedup),
+			fmt.Sprintf("%.0f", p.SaturatedMRows))
+	}
+	t.print(w)
+}

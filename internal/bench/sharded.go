@@ -16,16 +16,34 @@ import (
 	"repro/internal/workload"
 )
 
-// Sharded reports the ShardedStore's two claims on the taxi dataset:
+// IngestPoint is ingest throughput at one shard count.
+type IngestPoint struct {
+	Shards  int     `json:"shards"`
+	RowsPS  float64 `json:"rows_per_s"`
+	Speedup float64 `json:"speedup_vs_1"`
+}
+
+// ShardedResult is the sharded experiment's machine-readable output.
+type ShardedResult struct {
+	Rows        int           `json:"rows"`
+	Writers     int           `json:"writers"`
+	Ingest      []IngestPoint `json:"ingest"`
+	ReadShards  int           `json:"read_shards"`
+	ReadWorkers int           `json:"read_workers"`
+	ReadQPS     float64       `json:"scatter_gather_qps"`
+	MeanFanout  float64       `json:"mean_fanout_shards"`
+	PrunedFrac  float64       `json:"pruned_frac"`
+}
+
+// RunSharded measures the ShardedStore's two claims on the taxi dataset:
 // ingest throughput scaling with shard count (writers to different shards
 // never share a copy-on-write section, so rows/sec should grow with
 // shards until cores run out), and scatter-gather reads with router
 // pruning (range queries on the learned partition dimension touch few
 // shards). The paper's single-node design (§8) has one serialized insert
 // path; this experiment measures the reproduction's way past it.
-func Sharded(w io.Writer, o Options) {
+func RunSharded(o Options) (*ShardedResult, error) {
 	o = o.fill()
-	section(w, "Sharded", "ShardedStore ingest scaling and scatter-gather reads")
 	ds := datasets.Taxi(o.Rows, o.Seed+1)
 	work := workload.ForDataset(ds, o.QueriesPerType, o.Seed+101)
 
@@ -36,7 +54,7 @@ func Sharded(w io.Writer, o Options) {
 	if writers < 4 {
 		writers = 4
 	}
-	t := newTable("shards", "ingest (rows/s)", "speedup vs 1 shard")
+	res := &ShardedResult{Rows: o.Rows, Writers: writers}
 	base := 0.0
 	for _, n := range dedupInts([]int{1, 2, 4, runtime.NumCPU()}) {
 		st, err := sharded.Open(ds.Store, work, o.tsunamiConfig(core.FullTsunami), sharded.Config{
@@ -45,37 +63,53 @@ func Sharded(w io.Writer, o Options) {
 			Live:    live.Config{MergeThreshold: 1 << 30},
 		})
 		if err != nil {
-			fmt.Fprintf(w, "BUILD FAILURE at %d shards: %v\n", n, err)
-			return
+			return nil, fmt.Errorf("build failure at %d shards: %w", n, err)
 		}
 		rps := ingestThroughput(st, ds, writers)
 		st.Close()
 		if base == 0 {
 			base = rps
 		}
-		t.add(fmt.Sprintf("%d", n), fmt.Sprintf("%.0f", rps), fmt.Sprintf("%.2fx", rps/base))
+		res.Ingest = append(res.Ingest, IngestPoint{Shards: n, RowsPS: rps, Speedup: rps / base})
 	}
-	t.print(w)
 
 	// Scatter-gather reads: the full workload through an Executor over a
 	// 4-shard store, with the router pruning shards per query.
 	st, err := sharded.Open(ds.Store, work, o.tsunamiConfig(core.FullTsunami), sharded.Config{Shards: 4, Learned: true})
 	if err != nil {
-		fmt.Fprintf(w, "BUILD FAILURE: %v\n", err)
-		return
+		return nil, fmt.Errorf("build failure: %w", err)
 	}
 	defer st.Close()
 	if err := checkCorrect(st, ds.Store, work); err != nil {
-		fmt.Fprintf(w, "CORRECTNESS FAILURE: %v\n", err)
-		return
+		return nil, err
 	}
 	ex := tsunami.NewExecutorSource(st, tsunami.ExecutorOptions{Workers: runtime.NumCPU()})
 	qps := batchThroughput(ex, work)
 	ex.Close()
 	s := st.Stats()
-	fanout := float64(s.ShardsScanned) / float64(s.Queries)
-	fmt.Fprintf(w, "scatter-gather (4 shards, %d workers): %.0f q/s, mean fan-out %.2f shards (%.0f%% of shard scans pruned)\n",
-		runtime.NumCPU(), qps, fanout, 100*float64(s.ShardsPruned)/float64(s.ShardsScanned+s.ShardsPruned))
+	res.ReadShards = 4
+	res.ReadWorkers = runtime.NumCPU()
+	res.ReadQPS = qps
+	res.MeanFanout = float64(s.ShardsScanned) / float64(s.Queries)
+	res.PrunedFrac = float64(s.ShardsPruned) / float64(s.ShardsScanned+s.ShardsPruned)
+	return res, nil
+}
+
+// Sharded prints the ShardedStore experiment.
+func Sharded(w io.Writer, o Options) {
+	section(w, "Sharded", "ShardedStore ingest scaling and scatter-gather reads")
+	r, err := RunSharded(o)
+	if err != nil {
+		fmt.Fprintf(w, "FAILURE: %v\n", err)
+		return
+	}
+	t := newTable("shards", "ingest (rows/s)", "speedup vs 1 shard")
+	for _, p := range r.Ingest {
+		t.add(fmt.Sprintf("%d", p.Shards), fmt.Sprintf("%.0f", p.RowsPS), fmt.Sprintf("%.2fx", p.Speedup))
+	}
+	t.print(w)
+	fmt.Fprintf(w, "scatter-gather (%d shards, %d workers): %.0f q/s, mean fan-out %.2f shards (%.0f%% of shard scans pruned)\n",
+		r.ReadShards, r.ReadWorkers, r.ReadQPS, r.MeanFanout, 100*r.PrunedFrac)
 }
 
 // ingestThroughput streams perturbed copies of existing rows from a fixed

@@ -187,7 +187,65 @@ func (r ScanResult) Avg() float64 {
 // If exact is true the caller guarantees every row in the range matches every
 // filter, so per-value checks are skipped — the paper's scan-time
 // optimization. For COUNT with exact ranges no column data is touched at all.
+// Filtered (non-exact) ranges run on the branch-free block kernels in
+// kernels.go; ScanRangeScalar retains the row-at-a-time loop as the oracle.
 func (s *Store) ScanRange(q query.Query, start, end int, exact bool, res *ScanResult) {
+	if start < 0 {
+		start = 0
+	}
+	if end > s.NumRows() {
+		end = s.NumRows()
+	}
+	if start >= end {
+		return
+	}
+	n := uint64(end - start)
+	if exact {
+		res.Count += n
+		if q.Agg == query.Sum {
+			col := s.cols[q.AggDim][start:end]
+			var sum int64
+			for _, v := range col {
+				sum += v
+			}
+			res.Sum += sum
+			res.PointsScanned += n
+		}
+		return
+	}
+	res.PointsScanned += n
+
+	// An inverted filter is an empty intersection: the conjunction matches
+	// nothing. Checked here because the kernels' unsigned-width compare is
+	// only exact for lo <= hi.
+	for _, f := range q.Filters {
+		if f.Lo > f.Hi {
+			return
+		}
+	}
+
+	switch len(q.Filters) {
+	case 0:
+		res.Count += n
+		if q.Agg == query.Sum {
+			col := s.cols[q.AggDim][start:end]
+			var sum int64
+			for _, v := range col {
+				sum += v
+			}
+			res.Sum += sum
+		}
+	case 1:
+		s.scanOneFilter(q, start, end, res)
+	default:
+		s.scanManyFilters(q, start, end, res)
+	}
+}
+
+// ScanRangeScalar is the pre-kernel row-at-a-time implementation of
+// ScanRange, retained verbatim as the oracle the block kernels are
+// property-tested and benchmarked against.
+func (s *Store) ScanRangeScalar(q query.Query, start, end int, exact bool, res *ScanResult) {
 	if start < 0 {
 		start = 0
 	}

@@ -1,0 +1,206 @@
+package colstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// TestScanKernelsMatchScalar is the differential property test guarding the
+// block kernels: for random schemas, data distributions, ranges, and queries
+// across every (agg, filter-count, exact) shape, ScanRange must agree with
+// the retained scalar oracle ScanRangeScalar exactly.
+func TestScanKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	for iter := 0; iter < 300; iter++ {
+		d := 1 + rng.Intn(5)
+		n := rng.Intn(5000) // includes empty and sub-block stores
+		cols := make([][]int64, d)
+		for j := range cols {
+			cols[j] = randColumn(rng, n)
+		}
+		s, err := FromColumns(cols, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for shape := 0; shape < 8; shape++ {
+			nf := rng.Intn(d + 1)
+			fs := make([]query.Filter, 0, nf)
+			for len(fs) < nf {
+				fs = append(fs, randFilter(rng, cols[len(fs)], len(fs)))
+			}
+			var q query.Query
+			if rng.Intn(2) == 0 {
+				q = query.NewCount(fs...)
+			} else {
+				q = query.NewSum(rng.Intn(d), fs...)
+			}
+			start := rng.Intn(n+2) - 1 // exercise clamping
+			end := start + rng.Intn(n+2)
+			exact := rng.Intn(4) == 0 // exact asserts a caller guarantee; both paths must agree regardless
+			var got, want ScanResult
+			s.ScanRange(q, start, end, exact, &got)
+			s.ScanRangeScalar(q, start, end, exact, &want)
+			if got != want {
+				t.Fatalf("iter %d: kernel %+v != scalar %+v\nq=%s start=%d end=%d exact=%v n=%d",
+					iter, got, want, q, start, end, exact, n)
+			}
+		}
+	}
+}
+
+// TestScanKernelsDomainEdges pins the unsigned-compare trick at the int64
+// domain edges, where the wraparound argument has to hold exactly.
+func TestScanKernelsDomainEdges(t *testing.T) {
+	vals := []int64{math.MinInt64, math.MinInt64 + 1, -1, 0, 1, math.MaxInt64 - 1, math.MaxInt64}
+	col := make([]int64, 0, 256)
+	for len(col) < 200 { // cross a word boundary
+		col = append(col, vals[len(col)%len(vals)])
+	}
+	s, err := FromColumns([][]int64{col, append([]int64(nil), col...)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := []int64{math.MinInt64, math.MinInt64 + 1, -2, 0, 2, math.MaxInt64 - 1, math.MaxInt64}
+	for _, lo := range bounds {
+		for _, hi := range bounds {
+			for _, q := range []query.Query{
+				query.NewCount(query.Filter{Dim: 0, Lo: lo, Hi: hi}),
+				query.NewSum(1, query.Filter{Dim: 0, Lo: lo, Hi: hi}),
+				query.NewCount(query.Filter{Dim: 0, Lo: lo, Hi: hi}, query.Filter{Dim: 1, Lo: math.MinInt64, Hi: 0}),
+			} {
+				var got, want ScanResult
+				s.ScanRange(q, 0, len(col), false, &got)
+				s.ScanRangeScalar(q, 0, len(col), false, &want)
+				if got != want {
+					t.Fatalf("lo=%d hi=%d q=%s: kernel %+v != scalar %+v", lo, hi, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+// randColumn draws from distributions that stress different kernel paths:
+// dense small domains (high selectivity), wide uniform (sparse), and
+// constant runs (all-zero / all-one mask words).
+func randColumn(rng *rand.Rand, n int) []int64 {
+	col := make([]int64, n)
+	switch rng.Intn(4) {
+	case 0:
+		for i := range col {
+			col[i] = int64(rng.Intn(16))
+		}
+	case 1:
+		for i := range col {
+			col[i] = rng.Int63n(1<<40) - 1<<39
+		}
+	case 2:
+		v := int64(rng.Intn(100))
+		for i := range col {
+			if rng.Intn(200) == 0 {
+				v = int64(rng.Intn(100))
+			}
+			col[i] = v
+		}
+	default:
+		for i := range col {
+			col[i] = int64(rng.Uint64()) // full domain incl. extremes
+		}
+	}
+	return col
+}
+
+// randFilter builds a filter over dim, sometimes unbounded on a side,
+// sometimes empty (Lo > Hi), mostly anchored to actual column values so
+// selectivities vary.
+func randFilter(rng *rand.Rand, col []int64, dim int) query.Filter {
+	f := query.Filter{Dim: dim, Lo: query.NoLo, Hi: query.NoHi}
+	pick := func() int64 {
+		if len(col) == 0 {
+			return rng.Int63n(100) - 50
+		}
+		return col[rng.Intn(len(col))] + rng.Int63n(7) - 3
+	}
+	switch rng.Intn(6) {
+	case 0: // unbounded both sides
+	case 1:
+		f.Lo = pick()
+	case 2:
+		f.Hi = pick()
+	case 3: // empty range
+		f.Lo, f.Hi = 10, -10
+	default:
+		a, b := pick(), pick()
+		if a > b {
+			a, b = b, a
+		}
+		f.Lo, f.Hi = a, b
+	}
+	return f
+}
+
+// benchStore builds the benchmark dataset: 1M rows, uniform values in
+// [0, 1e6) so filter widths translate directly into selectivities.
+func benchStore(b *testing.B, dims int) *Store {
+	b.Helper()
+	const n = 1 << 20
+	rng := rand.New(rand.NewSource(7))
+	cols := make([][]int64, dims)
+	for j := range cols {
+		c := make([]int64, n)
+		for i := range c {
+			c[i] = rng.Int63n(1_000_000)
+		}
+		cols[j] = c
+	}
+	s, err := FromColumns(cols, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkScanKernels measures single-thread throughput of the block
+// kernels on the canonical KernelBenchShapes. Every shape's ns/op is a CI
+// regression-gate metric (cmd/benchgate parses the output against
+// .github/scan-baseline.json).
+func BenchmarkScanKernels(b *testing.B) {
+	s := benchStore(b, 4)
+	n := s.NumRows()
+	for _, sh := range KernelBenchShapes() {
+		b.Run(sh.Name, func(b *testing.B) {
+			b.SetBytes(int64(n) * 8)
+			var res ScanResult
+			for i := 0; i < b.N; i++ {
+				res = ScanResult{}
+				s.ScanRange(sh.Query, 0, n, false, &res)
+			}
+			if res.Count == 0 {
+				b.Fatal("benchmark query matched nothing")
+			}
+		})
+	}
+}
+
+// BenchmarkScanScalar is the retained oracle on the same shapes; the ratio
+// against BenchmarkScanKernels is the kernel speedup reported in
+// EXPERIMENTS.md (acceptance: >=1.5x on count_2f).
+func BenchmarkScanScalar(b *testing.B) {
+	s := benchStore(b, 4)
+	n := s.NumRows()
+	for _, sh := range KernelBenchShapes() {
+		b.Run(sh.Name, func(b *testing.B) {
+			b.SetBytes(int64(n) * 8)
+			var res ScanResult
+			for i := 0; i < b.N; i++ {
+				res = ScanResult{}
+				s.ScanRangeScalar(sh.Query, 0, n, false, &res)
+			}
+			if res.Count == 0 {
+				b.Fatal("benchmark query matched nothing")
+			}
+		})
+	}
+}

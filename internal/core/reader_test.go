@@ -69,6 +69,44 @@ func TestExecuteParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestExecuteParallelChunksSingleRegion pins sub-region parallelism: with
+// one region (AugGridOnly) larger than the chunk granularity, the chunked
+// path splits its planned ranges across workers and must still merge to
+// the sequential answer — previously a single huge region ran
+// single-threaded no matter the worker count.
+func TestExecuteParallelChunksSingleRegion(t *testing.T) {
+	st := testutil.SmallTaxi(60000, 11)
+	work := testutil.SkewedQueries(st, 120, 12)
+	idx := Build(st, work, smallConfig(AugGridOnly))
+	if n := len(idx.tree.Regions); n != 1 {
+		t.Fatalf("AugGridOnly built %d regions, want 1", n)
+	}
+	probe := testutil.RandomQueries(st, 40, 13)
+	maxTasks := 0
+	for _, workers := range []int{2, 3, 8} {
+		for _, q := range probe {
+			want := idx.Execute(q)
+			tasks := 0
+			got := idx.ExecuteParallelOn(q, workers, func(task func()) {
+				tasks++
+				go task()
+			})
+			if got != want {
+				t.Fatalf("ExecuteParallel(%s, %d) = %+v, want %+v", q, workers, got, want)
+			}
+			if tasks > maxTasks {
+				maxTasks = tasks
+			}
+		}
+	}
+	// The region is far larger than the chunk granularity, so the pool
+	// must actually have been used — not clamped back to one worker by
+	// the region count (the pre-PR-5 behavior this test exists to catch).
+	if maxTasks < 2 {
+		t.Fatalf("no query fanned out over the single region (max tasks = %d)", maxTasks)
+	}
+}
+
 // TestExecuteParallelSeesDeltas checks that buffered inserts are counted
 // exactly once when a query's regions execute on multiple workers.
 func TestExecuteParallelSeesDeltas(t *testing.T) {

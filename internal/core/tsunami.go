@@ -94,6 +94,8 @@ type Tsunami struct {
 type execContext struct {
 	regions []*gridtree.Region
 	grid    *auggrid.ExecContext
+	phys    []auggrid.PhysRange // planned ranges (sub-region parallel path)
+	chunks  []auggrid.PhysRange // block-split ranges workers drain
 }
 
 var execCtxPool = sync.Pool{
@@ -283,14 +285,26 @@ func (t *Tsunami) ExecuteParallelOn(q query.Query, workers int, submit func(task
 	defer execCtxPool.Put(ctx)
 	ctx.regions = t.tree.FindRegions(q, ctx.regions[:0])
 	regions := ctx.regions
-	if workers > len(regions) {
-		workers = len(regions)
-	}
-	if workers <= 1 {
+	if workers <= 1 || len(regions) == 0 {
 		return t.executeRegions(q, regions, ctx.grid)
 	}
 	if submit == nil {
 		submit = func(task func()) { go task() }
+	}
+
+	// With many regions per worker, per-region pulling already balances
+	// well and skips the up-front planning pass; with few regions (the
+	// common case after Grid Tree routing, and the worst case for the old
+	// path — one huge region ran single-threaded), plan every region's
+	// physical ranges, split them at block granularity, and let workers
+	// drain chunks instead. Workers are NOT clamped to the region count
+	// here: the chunked path parallelizes below region granularity, so
+	// even a single-region query can use the whole pool.
+	if len(regions) < 4*workers {
+		return t.executeChunked(q, regions, ctx, workers, submit)
+	}
+	if workers > len(regions) {
+		workers = len(regions)
 	}
 
 	// Dynamic work assignment: region sizes are highly skewed (Tab 4), so
@@ -319,6 +333,81 @@ func (t *Tsunami) ExecuteParallelOn(q query.Query, workers int, submit func(task
 	}
 	wg.Wait()
 	var res colstore.ScanResult
+	for _, p := range partial {
+		res.Add(p)
+	}
+	t.scanDeltas(q, regions, &res)
+	return res
+}
+
+// chunkRows is the sub-region scan granularity: planned physical ranges
+// longer than this are split into chunkRows pieces so even a single huge
+// range spreads across the pool. A multiple of the colstore kernel block
+// (1024 rows), large enough that per-chunk scheduling stays negligible
+// against the scan itself.
+const chunkRows = 16 * 1024
+
+// executeChunked is the sub-region parallel path: plan the physical row
+// ranges every routed region would scan (grid regions via PlanRanges,
+// unindexed regions as one range), split long ranges at chunkRows
+// granularity, and have workers drain chunks from a shared cursor.
+// Aggregates are sum+count pairs, so chunk partials merge exactly. Plans
+// yielding too few chunks to be worth fanning out are scanned inline.
+func (t *Tsunami) executeChunked(q query.Query, regions []*gridtree.Region, ctx *execContext, workers int, submit func(task func())) colstore.ScanResult {
+	ctx.phys = ctx.phys[:0]
+	for _, r := range regions {
+		if g := t.grids[r.ID]; g != nil {
+			ctx.phys, _ = g.PlanRanges(q, ctx.grid, ctx.phys)
+			continue
+		}
+		b := t.bounds[r.ID]
+		if b[0] < b[1] {
+			ctx.phys = append(ctx.phys, auggrid.PhysRange{Start: b[0], End: b[1], Exact: regionContained(q, r)})
+		}
+	}
+	ctx.chunks = ctx.chunks[:0]
+	for _, pr := range ctx.phys {
+		for s := pr.Start; s < pr.End; s += chunkRows {
+			e := s + chunkRows
+			if e > pr.End {
+				e = pr.End
+			}
+			ctx.chunks = append(ctx.chunks, auggrid.PhysRange{Start: s, End: e, Exact: pr.Exact})
+		}
+	}
+	chunks := ctx.chunks
+	var res colstore.ScanResult
+	if len(chunks) < 2 || workers <= 1 {
+		for _, c := range chunks {
+			t.store.ScanRange(q, c.Start, c.End, c.Exact, &res)
+		}
+		t.scanDeltas(q, regions, &res)
+		return res
+	}
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	var cursor atomic.Int64
+	partial := make([]colstore.ScanResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		w := w
+		submit(func() {
+			defer wg.Done()
+			var res colstore.ScanResult
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(chunks) {
+					break
+				}
+				c := chunks[i]
+				t.store.ScanRange(q, c.Start, c.End, c.Exact, &res)
+			}
+			partial[w] = res
+		})
+	}
+	wg.Wait()
 	for _, p := range partial {
 		res.Add(p)
 	}

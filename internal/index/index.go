@@ -75,21 +75,17 @@ func Selectivity(s *colstore.Store, q query.Query) float64 {
 }
 
 // DimSelectivity returns the fraction of rows matching only the filter on
-// one dimension of q (1.0 when the dim is unfiltered).
+// one dimension of q (1.0 when the dim is unfiltered). The count runs on
+// the store's single-filter scan kernel.
 func DimSelectivity(s *colstore.Store, q query.Query, dim int) float64 {
 	f, ok := q.Filter(dim)
 	if !ok {
 		return 1.0
 	}
-	col := s.Column(dim)
-	cnt := 0
-	for _, v := range col {
-		if v >= f.Lo && v <= f.Hi {
-			cnt++
-		}
-	}
-	if len(col) == 0 {
+	if s.NumRows() == 0 {
 		return 0
 	}
-	return float64(cnt) / float64(len(col))
+	var res colstore.ScanResult
+	s.ScanRange(query.NewCount(f), 0, s.NumRows(), false, &res)
+	return float64(res.Count) / float64(s.NumRows())
 }

@@ -163,7 +163,9 @@ func (x *Index) NumNodes() int { return x.numNodes }
 // BuildStats returns the build timing split.
 func (x *Index) BuildStats() index.BuildStats { return x.stats }
 
-// Execute implements index.Index. The tree is immutable after Build and
+// Execute implements index.Index: intersecting leaves scan their physical
+// ranges, with partially-covered octants filtered on the store's
+// branch-free block kernels. The tree is immutable after Build and
 // traversal state is on the stack, so Execute is safe for concurrent
 // callers sharing one index.
 func (x *Index) Execute(q query.Query) colstore.ScanResult {
