@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// report is the loosely-typed view of a tsunami-bench Report this command
+// needs: enough header fields to warn when two artifacts were produced
+// under incomparable conditions, with the experiment payloads kept generic
+// so the delta table survives experiments gaining fields or whole new
+// experiments appearing between PRs.
+type report struct {
+	Schema      string                     `json:"schema"`
+	GoVersion   string                     `json:"go_version"`
+	GOOS        string                     `json:"goos"`
+	GOARCH      string                     `json:"goarch"`
+	NumCPU      int                        `json:"num_cpu"`
+	GOMAXPROCS  int                        `json:"gomaxprocs"`
+	ScanKernel  string                     `json:"scan_kernel"`
+	Experiments map[string]json.RawMessage `json:"experiments"`
+}
+
+// labelFields are object fields that identify an element of a metric
+// array (bench emits []IngestPoint keyed by shards, []PoolPoint keyed by
+// workers, []ScanShapePoint keyed by shape). When an array element has
+// one, the path uses it instead of the positional index, so the delta
+// lines up even if the set of points shifts between runs.
+var labelFields = []string{"shape", "shards", "workers"}
+
+// compareReports prints a metric-by-metric delta of two bench.Report
+// files (the committed BENCH_<n>.json artifacts) to w. It returns an
+// error only for unreadable input; metric churn between schema revisions
+// is reported in the table, not fatal.
+func compareReports(w io.Writer, oldRaw, newRaw []byte) error {
+	var oldRep, newRep report
+	if err := json.Unmarshal(oldRaw, &oldRep); err != nil {
+		return fmt.Errorf("old report: %w", err)
+	}
+	if err := json.Unmarshal(newRaw, &newRep); err != nil {
+		return fmt.Errorf("new report: %w", err)
+	}
+
+	// Environment mismatches don't fail the comparison — BENCH artifacts
+	// from different PRs legitimately come from different runners — but
+	// every delta below must be read through them.
+	warn := func(field, oldV, newV string) {
+		if oldV != newV {
+			fmt.Fprintf(w, "WARNING: %s differs (old %s, new %s) — deltas reflect environment as well as code\n", field, oldV, newV)
+		}
+	}
+	warn("schema", oldRep.Schema, newRep.Schema)
+	warn("go_version", oldRep.GoVersion, newRep.GoVersion)
+	warn("goos/goarch", oldRep.GOOS+"/"+oldRep.GOARCH, newRep.GOOS+"/"+newRep.GOARCH)
+	warn("num_cpu", fmt.Sprint(oldRep.NumCPU), fmt.Sprint(newRep.NumCPU))
+	warn("gomaxprocs", fmt.Sprint(oldRep.GOMAXPROCS), fmt.Sprint(newRep.GOMAXPROCS))
+	warn("scan_kernel", orUnset(oldRep.ScanKernel), orUnset(newRep.ScanKernel))
+
+	oldM := flattenExperiments(oldRep.Experiments)
+	newM := flattenExperiments(newRep.Experiments)
+
+	keys := make([]string, 0, len(oldM)+len(newM))
+	seen := make(map[string]bool, len(oldM)+len(newM))
+	for k := range oldM {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range newM {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	fmt.Fprintf(w, "%-64s %14s %14s %9s\n", "metric", "old", "new", "delta")
+	for _, k := range keys {
+		oldV, inOld := oldM[k]
+		newV, inNew := newM[k]
+		switch {
+		case !inOld:
+			fmt.Fprintf(w, "%-64s %14s %14s %9s\n", k, "-", fmtNum(newV), "new")
+		case !inNew:
+			fmt.Fprintf(w, "%-64s %14s %14s %9s\n", k, fmtNum(oldV), "-", "gone")
+		case oldV == 0:
+			fmt.Fprintf(w, "%-64s %14s %14s %9s\n", k, fmtNum(oldV), fmtNum(newV), "-")
+		default:
+			fmt.Fprintf(w, "%-64s %14s %14s %8.2fx\n", k, fmtNum(oldV), fmtNum(newV), newV/oldV)
+		}
+	}
+	return nil
+}
+
+func orUnset(s string) string {
+	if s == "" {
+		return "(unset)"
+	}
+	return s
+}
+
+func fmtNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// flattenExperiments turns the experiments map into dotted-path numeric
+// metrics, e.g. "scan.shapes[count_1f].kernel_mrows_per_s" or
+// "sharded.ingest[shards=4].speedup_vs_1". Booleans flatten to 0/1 so
+// flags like scaling_unreliable show up in the timeline too.
+func flattenExperiments(exps map[string]json.RawMessage) map[string]float64 {
+	out := make(map[string]float64)
+	for name, raw := range exps {
+		var v any
+		if err := json.Unmarshal(raw, &v); err != nil {
+			continue
+		}
+		flatten(name, v, out)
+	}
+	return out
+}
+
+func flatten(path string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case float64:
+		out[path] = x
+	case bool:
+		if x {
+			out[path] = 1
+		} else {
+			out[path] = 0
+		}
+	case map[string]any:
+		for k, sub := range x {
+			flatten(path+"."+k, sub, out)
+		}
+	case []any:
+		for i, el := range x {
+			flatten(path+elemKey(el, i), el, out)
+		}
+	}
+	// Strings carry no delta; drop them (the header warnings cover the
+	// interesting ones like the kernel tier).
+}
+
+// elemKey names one array element: "[shape=count_1f]" when a label field
+// is present, "[3]" otherwise.
+func elemKey(el any, i int) string {
+	if m, ok := el.(map[string]any); ok {
+		for _, lf := range labelFields {
+			if lv, ok := m[lf]; ok {
+				return fmt.Sprintf("[%s=%v]", lf, lv)
+			}
+		}
+	}
+	return fmt.Sprintf("[%d]", i)
+}
+
+// runCompare is the -compare entry point: load both files, print the
+// delta table.
+func runCompare(oldPath, newPath string) error {
+	oldRaw, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newRaw, err := os.ReadFile(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchgate: comparing %s -> %s\n", oldPath, newPath)
+	return compareReports(os.Stdout, oldRaw, newRaw)
+}

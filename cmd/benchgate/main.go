@@ -16,6 +16,15 @@
 // relative tolerance. -update rewrites the baseline from the observed run
 // instead of gating, which is how the reference numbers are refreshed
 // after an intentional perf change (commit the result).
+//
+// A second mode compares two committed tsunami-bench JSON artifacts and
+// prints the metric-by-metric delta (the repo's benchmark timeline):
+//
+//	go run ./cmd/benchgate -compare BENCH_5.json BENCH_6.json
+//
+// Compare never exits non-zero for a slowdown — artifacts from different
+// PRs come from different runners, so it reports environment mismatches
+// (num_cpu, gomaxprocs, kernel tier) as warnings instead of gating.
 package main
 
 import (
@@ -54,8 +63,20 @@ func main() {
 		minSpeedup   = flag.Float64("min-speedup", 0, "also require kernel/scalar speedup >= this, measured within this run (0 disables)")
 		kernelPrefix = flag.String("kernel-prefix", "BenchmarkScanKernels", "benchmark prefix of the kernel side of the speedup gate")
 		scalarPrefix = flag.String("scalar-prefix", "BenchmarkScanScalar", "benchmark prefix of the scalar side of the speedup gate")
+		compare      = flag.Bool("compare", false, "compare two tsunami-bench JSON reports (old new) and print the delta table")
 	)
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchgate: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		return
+	}
 	if *baselinePath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
 		os.Exit(2)
@@ -196,7 +217,7 @@ func parseBench(r *os.File) (map[string]float64, error) {
 // writeBaseline emits a fresh baseline file from the observed run.
 func writeBaseline(path string, observed map[string]float64, tol float64) error {
 	base := Baseline{
-		Note: "regenerate: go test -run '^$' -bench BenchmarkScanKernels -benchtime 200ms ./internal/colstore | go run ./cmd/benchgate -baseline <this file> -update",
+		Note:       "regenerate: go test -run '^$' -bench BenchmarkScanKernels -benchtime 200ms ./internal/colstore | go run ./cmd/benchgate -baseline <this file> -update",
 		Benchmarks: make(map[string]Entry, len(observed)),
 	}
 	for name, ns := range observed {

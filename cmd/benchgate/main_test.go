@@ -1,0 +1,129 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const oldReport = `{
+  "schema": "tsunami-bench/v1",
+  "go_version": "go1.24.0",
+  "goos": "linux", "goarch": "amd64",
+  "num_cpu": 1, "gomaxprocs": 1,
+  "experiments": {
+    "scan": {
+      "rows": 131072,
+      "shapes": [
+        {"shape": "count_1f", "mrows_per_s": 500, "speedup_vs_scalar": 3.7},
+        {"shape": "sum_1f", "mrows_per_s": 400, "speedup_vs_scalar": 3.0}
+      ]
+    },
+    "sharded": {
+      "scaling_unreliable": false,
+      "ingest": [
+        {"shards": 1, "rows_per_s": 100000, "speedup_vs_1": 1},
+        {"shards": 4, "rows_per_s": 67000, "speedup_vs_1": 0.67}
+      ]
+    }
+  }
+}`
+
+const newReport = `{
+  "schema": "tsunami-bench/v1",
+  "go_version": "go1.24.0",
+  "goos": "linux", "goarch": "amd64",
+  "num_cpu": 1, "gomaxprocs": 4,
+  "scan_kernel": "avx2",
+  "experiments": {
+    "scan": {
+      "rows": 131072,
+      "shapes": [
+        {"shape": "count_1f", "mrows_per_s": 6000, "kernel_gb_per_s": 48.0},
+        {"shape": "sum_1f", "mrows_per_s": 4000, "speedup_vs_scalar": 30.1}
+      ]
+    },
+    "sharded": {
+      "scaling_unreliable": true,
+      "ingest": [
+        {"shards": 1, "rows_per_s": 100000, "speedup_vs_1": 1},
+        {"shards": 4, "rows_per_s": 120000, "speedup_vs_1": 1.2}
+      ]
+    }
+  }
+}`
+
+func TestCompareReports(t *testing.T) {
+	var sb strings.Builder
+	if err := compareReports(&sb, []byte(oldReport), []byte(newReport)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	t.Log("\n" + out)
+
+	// Shared metrics line up by label field, not array position, and the
+	// delta is new/old.
+	wantLines := []string{
+		"scan.shapes[shape=count_1f].mrows_per_s",
+		"12.00x", // 6000/500
+		"sharded.ingest[shards=4].speedup_vs_1",
+		"1.79x", // 1.2/0.67
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q", want)
+		}
+	}
+
+	// Metric churn is reported, not fatal: fields only one side has.
+	if !strings.Contains(out, "scan.shapes[shape=count_1f].kernel_gb_per_s") || !strings.Contains(out, "new") {
+		t.Error("metric present only in the new report should be listed as new")
+	}
+	if !strings.Contains(out, "scan.shapes[shape=count_1f].speedup_vs_scalar") || !strings.Contains(out, "gone") {
+		t.Error("metric present only in the old report should be listed as gone")
+	}
+
+	// Booleans flatten to 0/1 so flag flips show in the timeline.
+	if !strings.Contains(out, "sharded.scaling_unreliable") {
+		t.Error("boolean flags should appear as metrics")
+	}
+
+	// Environment differences warn but do not error.
+	if !strings.Contains(out, "WARNING: gomaxprocs differs (old 1, new 4)") {
+		t.Error("gomaxprocs mismatch should produce a warning")
+	}
+	if !strings.Contains(out, "WARNING: scan_kernel differs (old (unset), new avx2)") {
+		t.Error("scan_kernel mismatch should produce a warning")
+	}
+	if strings.Contains(out, "WARNING: num_cpu") {
+		t.Error("matching num_cpu must not warn")
+	}
+}
+
+func TestCompareReportsBadJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := compareReports(&sb, []byte("{"), []byte(newReport)); err == nil {
+		t.Error("truncated old report should error")
+	}
+	if err := compareReports(&sb, []byte(oldReport), []byte("not json")); err == nil {
+		t.Error("malformed new report should error")
+	}
+}
+
+func TestFlattenElemKey(t *testing.T) {
+	out := make(map[string]float64)
+	flatten("x", map[string]any{
+		"anon": []any{
+			map[string]any{"v": 1.0},
+			map[string]any{"v": 2.0},
+		},
+		"workers_arr": []any{
+			map[string]any{"workers": 4.0, "qps": 9.0},
+		},
+	}, out)
+	if out["x.anon[0].v"] != 1 || out["x.anon[1].v"] != 2 {
+		t.Errorf("unlabeled arrays should key by index: %v", out)
+	}
+	if out["x.workers_arr[workers=4].qps"] != 9 {
+		t.Errorf("labeled arrays should key by label field: %v", out)
+	}
+}

@@ -3,6 +3,9 @@ package auggrid
 import (
 	"math/rand"
 	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/query"
 )
 
 // CalibrateWeights micro-measures the cost model's coefficients on the
@@ -19,17 +22,29 @@ func CalibrateWeights() CostWeights {
 		data[i] = rng.Int63n(1000)
 	}
 
-	// W1: sequential scan cost per value, with a filter check like
-	// colstore.ScanRange's inner loop.
-	var sink int64
+	// W1: per-row-per-dimension scan cost of the production path. The model
+	// prices what Execute actually runs — colstore.ScanRange through its
+	// kernel dispatcher (AVX2 where supported, portable branch-free
+	// otherwise) — not a hand-rolled branchy loop, which since the
+	// vectorized kernels landed would overprice scans by 5-20x and push the
+	// optimizer toward layouts with too many cell ranges. A 1-filter COUNT
+	// at ~50% selectivity exercises the mask kernel without the aggregate
+	// column, matching the single-dim unit the W1 term multiplies.
+	st, err := colstore.FromColumns([][]int64{data}, nil)
+	if err != nil {
+		panic("auggrid: " + err.Error()) // one well-formed column by construction
+	}
+	q := query.Query{
+		Agg:     query.Count,
+		Filters: []query.Filter{{Dim: 0, Lo: 250, Hi: 749}},
+	}
+	var res colstore.ScanResult
+	st.ScanRange(q, 0, n, false, &res) // warm-up
 	start := time.Now()
 	passes := 0
 	for time.Since(start) < 10*time.Millisecond {
-		for _, v := range data {
-			if v >= 100 && v <= 900 {
-				sink++
-			}
-		}
+		res = colstore.ScanResult{}
+		st.ScanRange(q, 0, n, false, &res)
 		passes++
 	}
 	w1 := float64(time.Since(start).Nanoseconds()) / float64(passes*n)
@@ -40,6 +55,7 @@ func CalibrateWeights() CostWeights {
 	for i := range jumps {
 		jumps[i] = rng.Intn(n)
 	}
+	var sink int64
 	start = time.Now()
 	passes = 0
 	for time.Since(start) < 10*time.Millisecond {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -91,6 +92,47 @@ func TestClaimGridTreeAloneHelpsOnSkew(t *testing.T) {
 	t.Logf("gridtree-only=%.0f flood=%.0f points/query", sGt, sFl)
 	if sGt >= sFl {
 		t.Errorf("GridTree-only (%.0f) should scan less than Flood (%.0f) on a skewed workload", sGt, sFl)
+	}
+}
+
+// TestClaimShardedIngestScales pins the ShardedStore's scaling claim —
+// and the honesty of its reporting. Scaling assertions are only
+// meaningful with real parallelism: on a GOMAXPROCS=1 box the writer
+// fleet timeshares one CPU and measured "speedups" are scheduler noise
+// (BENCH_5.json recorded inverse scaling this way), so there the test
+// only requires the result to flag itself unreliable, and skips the
+// scaling assertion itself.
+func TestClaimShardedIngestScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := Options{Rows: 8_000, QueriesPerType: 10, Seed: 11, Quick: true}.fill()
+	r, err := RunSharded(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runtime.GOMAXPROCS(0) <= 1 {
+		if !r.ScalingUnreliable {
+			t.Error("GOMAXPROCS=1 run must flag ScalingUnreliable")
+		}
+		t.Skip("GOMAXPROCS=1: shard-scaling assertions are unreliable, skipping")
+	}
+	if r.ScalingUnreliable {
+		t.Error("multi-CPU run must not flag ScalingUnreliable")
+	}
+	// With real parallelism, sharding must not cost throughput: the best
+	// multi-shard point should at least hold the single-shard baseline
+	// (generous floor — partitioning overhead plus runner noise, not a
+	// perf target; the inverse-scaling bug this guards against measured
+	// 0.67x).
+	best := 0.0
+	for _, p := range r.Ingest {
+		if p.Shards > 1 && p.Speedup > best {
+			best = p.Speedup
+		}
+	}
+	if best < 0.85 {
+		t.Errorf("best multi-shard ingest speedup %.2fx vs 1 shard; sharding should not cost throughput on a multi-CPU box", best)
 	}
 }
 

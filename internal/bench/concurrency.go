@@ -23,9 +23,14 @@ type PoolPoint struct {
 // ConcurrencyResult is the concurrency experiment's machine-readable
 // output.
 type ConcurrencyResult struct {
-	Rows    int         `json:"rows"`
-	Queries int         `json:"queries"`
-	Pool    []PoolPoint `json:"pool"`
+	Rows    int `json:"rows"`
+	Queries int `json:"queries"`
+	// ScalingUnreliable marks this run's speedup-vs-workers numbers as
+	// unable to support scaling claims: with GOMAXPROCS=1 every worker
+	// count timeshares one CPU, so "speedups" are scheduler noise (the
+	// trap the committed BENCH_5.json fell into).
+	ScalingUnreliable bool        `json:"scaling_unreliable,omitempty"`
+	Pool              []PoolPoint `json:"pool"`
 	// Intra-query: one query at a time, its regions and sub-region chunks
 	// spread across the full pool.
 	IntraWorkers int     `json:"intra_query_workers"`
@@ -50,7 +55,7 @@ func RunConcurrency(o Options) (*ConcurrencyResult, error) {
 		return nil, err
 	}
 
-	res := &ConcurrencyResult{Rows: o.Rows, Queries: len(work)}
+	res := &ConcurrencyResult{Rows: o.Rows, Queries: len(work), ScalingUnreliable: runtime.GOMAXPROCS(0) <= 1}
 	base := 0.0
 	for _, n := range dedupInts([]int{1, 4, runtime.NumCPU()}) {
 		ex := tsunami.NewExecutor(idx, tsunami.ExecutorOptions{Workers: n})
@@ -97,6 +102,9 @@ func Concurrency(w io.Writer, o Options) {
 	t.print(w)
 	fmt.Fprintf(w, "intra-query (%d workers, one query at a time): %.0f q/s (%.2fx vs 1 worker)\n",
 		r.IntraWorkers, r.IntraQPS, r.IntraSpeedup)
+	if r.ScalingUnreliable {
+		fmt.Fprintf(w, "NOTE: GOMAXPROCS=1 — worker-scaling numbers cannot support scaling claims\n")
+	}
 }
 
 // dedupInts drops repeated values, preserving order (NumCPU may equal one

@@ -6,6 +6,8 @@ import (
 	"io"
 	"runtime"
 	"time"
+
+	"repro/internal/colstore"
 )
 
 // Report is the machine-readable BENCH artifact tsunami-bench -json emits.
@@ -19,6 +21,13 @@ type Report struct {
 	GOOS          string `json:"goos"`
 	GOARCH        string `json:"goarch"`
 	NumCPU        int    `json:"num_cpu"`
+	// GOMAXPROCS is the effective parallelism of the run; scaling-
+	// sensitive experiments flag themselves unreliable when it is 1.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// ScanKernel is the colstore kernel tier the run dispatched to
+	// ("avx2" or "portable"), so artifacts from different hardware are
+	// comparable.
+	ScanKernel string `json:"scan_kernel"`
 
 	Options struct {
 		Rows           int   `json:"rows"`
@@ -58,6 +67,8 @@ func RunJSON(w io.Writer, ids []string, o Options) error {
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		ScanKernel:    colstore.KernelName(),
 		Experiments:   make(map[string]any, len(ids)),
 	}
 	rep.Options.Rows = o.Rows

@@ -14,29 +14,51 @@ import (
 )
 
 // ScanShapePoint is the measured scan throughput of one (agg x
-// filter-count) kernel shape, in millions of rows per second.
+// filter-count) kernel shape, in millions of rows per second and — from
+// the ScanResult's BytesTouched model — effective column bandwidth in
+// GB/s, the number to hold against the machine's STREAM bandwidth to see
+// how far from the memory wall the scan runs.
 type ScanShapePoint struct {
 	Shape string `json:"shape"`
-	// KernelMRows and ScalarMRows are single-thread throughputs of the
-	// branch-free block kernels and the retained scalar oracle.
+	// KernelMRows/KernelGBps are single-thread throughputs of the
+	// dispatched kernel tier (AVX2 where available, otherwise the
+	// portable branch-free kernels).
 	KernelMRows float64 `json:"kernel_mrows_per_s"`
+	KernelGBps  float64 `json:"kernel_gb_per_s"`
+	// PortableMRows/PortableGBps are the portable branch-free kernels
+	// with SIMD dispatch forced off (equal to the kernel numbers when no
+	// SIMD tier is compiled in or supported).
+	PortableMRows float64 `json:"portable_mrows_per_s"`
+	PortableGBps  float64 `json:"portable_gb_per_s"`
+	// ScalarMRows/ScalarGBps are the retained row-at-a-time oracle.
 	ScalarMRows float64 `json:"scalar_mrows_per_s"`
+	ScalarGBps  float64 `json:"scalar_gb_per_s"`
+	// Speedup is kernel vs scalar; SIMDSpeedup is kernel vs portable.
 	Speedup     float64 `json:"kernel_speedup"`
-	// SaturatedMRows is aggregate kernel throughput with one scanning
-	// goroutine per CPU — the memory-bottleneck regime the kernels target.
+	SIMDSpeedup float64 `json:"simd_speedup"`
+	// SaturatedMRows/SaturatedGBps are aggregate kernel throughput with
+	// one scanning goroutine per CPU — the memory-bottleneck regime the
+	// kernels target.
 	SaturatedMRows float64 `json:"kernel_mrows_per_s_saturated"`
+	SaturatedGBps  float64 `json:"kernel_gb_per_s_saturated"`
 }
 
 // ScanKernelsResult is the scan experiment's machine-readable output.
 type ScanKernelsResult struct {
-	Rows    int              `json:"rows"`
-	Dims    int              `json:"dims"`
-	Threads int              `json:"saturated_threads"`
-	Shapes  []ScanShapePoint `json:"shapes"`
+	Rows    int    `json:"rows"`
+	Dims    int    `json:"dims"`
+	Threads int    `json:"saturated_threads"`
+	Kernel  string `json:"kernel"` // dispatched tier: "avx2" or "portable"
+	// ScalingUnreliable marks the saturated numbers as unable to support
+	// scaling claims: with GOMAXPROCS=1 the "saturated pool" is one
+	// thread plus scheduler overhead.
+	ScalingUnreliable bool             `json:"scaling_unreliable,omitempty"`
+	Shapes            []ScanShapePoint `json:"shapes"`
 }
 
-// RunScanKernels measures raw colstore scan throughput — kernels vs the
-// scalar oracle per shape, single-thread and with every CPU scanning.
+// RunScanKernels measures raw colstore scan throughput — the dispatched
+// SIMD tier, the portable kernels, and the scalar oracle per shape,
+// single-thread and with every CPU scanning.
 func RunScanKernels(o Options) *ScanKernelsResult {
 	o = o.fill()
 	rows := o.Rows * 4 // raw scans are fast; more rows = steadier numbers
@@ -59,7 +81,13 @@ func RunScanKernels(o Options) *ScanKernelsResult {
 	}
 
 	threads := runtime.GOMAXPROCS(0)
-	res := &ScanKernelsResult{Rows: rows, Dims: dims, Threads: threads}
+	res := &ScanKernelsResult{
+		Rows:              rows,
+		Dims:              dims,
+		Threads:           threads,
+		Kernel:            colstore.KernelName(),
+		ScalingUnreliable: threads <= 1,
+	}
 	window := 120 * time.Millisecond
 	if o.Quick {
 		window = 60 * time.Millisecond
@@ -68,25 +96,52 @@ func RunScanKernels(o Options) *ScanKernelsResult {
 	// experiment and the CI-gated BenchmarkScanKernels measure the same
 	// thing by construction.
 	for _, sh := range colstore.KernelBenchShapes() {
-		kernel := scanMRows(st, sh.Query, window, false)
-		scalar := scanMRows(st, sh.Query, window, true)
+		kernelM, kernelG := scanMRows(st, sh.Query, window, false)
+		scalarM, scalarG := scanMRows(st, sh.Query, window, true)
+		portableM, portableG := kernelM, kernelG
+		if colstore.SIMDAvailable() {
+			// Restore the prior dispatch state, not `true`: the run may
+			// have SIMD disabled via TSUNAMI_PUREGO, and the kernel
+			// column must keep measuring what ScanRange actually does.
+			prev := colstore.SetSIMD(false)
+			portableM, portableG = scanMRows(st, sh.Query, window, false)
+			colstore.SetSIMD(prev)
+		}
+		satM, satG := scanMRowsParallel(st, sh.Query, window, threads)
 		p := ScanShapePoint{
 			Shape:          sh.Name,
-			KernelMRows:    kernel,
-			ScalarMRows:    scalar,
-			SaturatedMRows: scanMRowsParallel(st, sh.Query, window, threads),
+			KernelMRows:    kernelM,
+			KernelGBps:     kernelG,
+			PortableMRows:  portableM,
+			PortableGBps:   portableG,
+			ScalarMRows:    scalarM,
+			ScalarGBps:     scalarG,
+			SaturatedMRows: satM,
+			SaturatedGBps:  satG,
 		}
-		if scalar > 0 {
-			p.Speedup = kernel / scalar
+		if scalarM > 0 {
+			p.Speedup = kernelM / scalarM
+		}
+		if portableM > 0 {
+			p.SIMDSpeedup = kernelM / portableM
 		}
 		res.Shapes = append(res.Shapes, p)
 	}
 	return res
 }
 
-// scanMRows measures single-thread full-table scan throughput in Mrows/s.
-func scanMRows(st *colstore.Store, q query.Query, window time.Duration, scalar bool) float64 {
+// scanBytes returns the BytesTouched of one full-table pass of q.
+func scanBytes(st *colstore.Store, q query.Query) uint64 {
+	var res colstore.ScanResult
+	st.ScanRange(q, 0, st.NumRows(), false, &res)
+	return res.BytesTouched
+}
+
+// scanMRows measures single-thread full-table scan throughput, returning
+// Mrows/s and effective GB/s (modeled column bytes moved per second).
+func scanMRows(st *colstore.Store, q query.Query, window time.Duration, scalar bool) (float64, float64) {
 	n := st.NumRows()
+	bytesPerPass := scanBytes(st, q)
 	scan := func() {
 		var res colstore.ScanResult
 		if scalar {
@@ -102,14 +157,17 @@ func scanMRows(st *colstore.Store, q query.Query, window time.Duration, scalar b
 		scan()
 		passes++
 	}
-	return float64(passes) * float64(n) / time.Since(start).Seconds() / 1e6
+	secs := time.Since(start).Seconds()
+	return float64(passes) * float64(n) / secs / 1e6,
+		float64(passes) * float64(bytesPerPass) / secs / 1e9
 }
 
 // scanMRowsParallel measures aggregate kernel throughput with `threads`
 // goroutines scanning concurrently (each its own full pass, the
-// saturated-pool regime).
-func scanMRowsParallel(st *colstore.Store, q query.Query, window time.Duration, threads int) float64 {
+// saturated-pool regime), returning Mrows/s and effective GB/s.
+func scanMRowsParallel(st *colstore.Store, q query.Query, window time.Duration, threads int) (float64, float64) {
 	n := st.NumRows()
+	bytesPerPass := scanBytes(st, q)
 	var total atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -125,21 +183,30 @@ func scanMRowsParallel(st *colstore.Store, q query.Query, window time.Duration, 
 		}()
 	}
 	wg.Wait()
-	return float64(total.Load()) / time.Since(start).Seconds() / 1e6
+	secs := time.Since(start).Seconds()
+	passes := float64(total.Load()) / float64(n)
+	return float64(total.Load()) / secs / 1e6,
+		passes * float64(bytesPerPass) / secs / 1e9
 }
 
 // Scan prints the scan-kernel experiment: the microbenchmark behind the
-// branch-free ScanRange rewrite, at harness scale.
+// vectorized ScanRange tiers, at harness scale.
 func Scan(w io.Writer, o Options) {
 	r := RunScanKernels(o)
-	section(w, "Scan", fmt.Sprintf("Branch-free scan kernels vs scalar oracle (%d rows, %d dims)", r.Rows, r.Dims))
-	t := newTable("shape", "kernel (Mrows/s)", "scalar (Mrows/s)", "speedup", fmt.Sprintf("saturated x%d (Mrows/s)", r.Threads))
+	section(w, "Scan", fmt.Sprintf("Scan kernels (%s) vs portable vs scalar oracle (%d rows, %d dims)", r.Kernel, r.Rows, r.Dims))
+	t := newTable("shape", "kernel (Mrows/s)", "kernel (GB/s)", "portable (Mrows/s)", "scalar (Mrows/s)", "simd", "total", fmt.Sprintf("saturated x%d (GB/s)", r.Threads))
 	for _, p := range r.Shapes {
 		t.add(p.Shape,
 			fmt.Sprintf("%.0f", p.KernelMRows),
+			fmt.Sprintf("%.1f", p.KernelGBps),
+			fmt.Sprintf("%.0f", p.PortableMRows),
 			fmt.Sprintf("%.0f", p.ScalarMRows),
+			fmt.Sprintf("%.2fx", p.SIMDSpeedup),
 			fmt.Sprintf("%.2fx", p.Speedup),
-			fmt.Sprintf("%.0f", p.SaturatedMRows))
+			fmt.Sprintf("%.1f", p.SaturatedGBps))
 	}
 	t.print(w)
+	if r.ScalingUnreliable {
+		fmt.Fprintf(w, "NOTE: GOMAXPROCS=1 — saturated-pool numbers cannot support scaling claims\n")
+	}
 }

@@ -159,6 +159,14 @@ type ScanResult struct {
 	// PointsScanned is the number of rows the scan touched (matching or
 	// not); indexes report it for the cost-model features (§5.3.1).
 	PointsScanned uint64
+	// BytesTouched models the column bytes the scan moved: 8 bytes per
+	// row for every filter column plus the aggregate column for SUM (an
+	// exact COUNT range touches no column data at all). It is a planned
+	// figure — deliberately independent of short-circuiting and dead-word
+	// skipping, and therefore identical across the SIMD, portable, and
+	// scalar tiers — so the bench harness can report effective GB/s per
+	// shape and track the gap to STREAM bandwidth across PRs.
+	BytesTouched uint64
 }
 
 // Add accumulates another result into r. Because a result carries the
@@ -169,6 +177,7 @@ func (r *ScanResult) Add(o ScanResult) {
 	r.Count += o.Count
 	r.Sum += o.Sum
 	r.PointsScanned += o.PointsScanned
+	r.BytesTouched += o.BytesTouched
 }
 
 // Avg returns the mean of the aggregated dimension over matching rows
@@ -210,10 +219,12 @@ func (s *Store) ScanRange(q query.Query, start, end int, exact bool, res *ScanRe
 			}
 			res.Sum += sum
 			res.PointsScanned += n
+			res.BytesTouched += n * 8
 		}
 		return
 	}
 	res.PointsScanned += n
+	res.BytesTouched += n * 8 * uint64(len(q.Filters)+sumCols(q))
 
 	// An inverted filter is an empty intersection: the conjunction matches
 	// nothing. Checked here because the kernels' unsigned-width compare is
@@ -264,10 +275,12 @@ func (s *Store) ScanRangeScalar(q query.Query, start, end int, exact bool, res *
 				res.Sum += col[i]
 			}
 			res.PointsScanned += n
+			res.BytesTouched += n * 8
 		}
 		return
 	}
 	res.PointsScanned += n
+	res.BytesTouched += n * 8 * uint64(len(q.Filters)+sumCols(q))
 
 	// Column-at-a-time filtering: start with all rows live, narrow per filter.
 	switch len(q.Filters) {
@@ -319,6 +332,15 @@ func (s *Store) ScanRangeScalar(q query.Query, start, end int, exact bool, res *
 			}
 		}
 	}
+}
+
+// sumCols is the number of aggregate columns a query's scan reads beyond
+// its filter columns: 1 for SUM, 0 for COUNT.
+func sumCols(q query.Query) int {
+	if q.Agg == query.Sum {
+		return 1
+	}
+	return 0
 }
 
 // SizeBytes returns the memory footprint of the column data itself. Index

@@ -1,0 +1,376 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// AVX2 scan kernels: 4x int64 lanes per instruction, same block structure
+// and exact semantics as the portable branch-free kernels in kernels.go.
+//
+// The range predicate uint64(v-lo) <= width is evaluated with the signed
+// compare VPCMPGTQ via the bias trick: adding 2^63 (mod 2^64) to both
+// sides of an unsigned compare turns it into the signed compare of the
+// biased values. Because 2^63 is only the sign bit, v - lo + 2^63 folds
+// into a single VPSUBQ by the precomputed scalar lo' = lo - 2^63, and
+// width + 2^63 is precomputed once per call. VPCMPGTQ(u, w') then yields
+// all-ones exactly on the NON-matching lanes, which both the counting
+// kernels (accumulate -1 per non-match) and the masked-sum kernel
+// (VPANDN clears non-matching lanes) consume without a NOT.
+//
+// Every loop software-prefetches ~1KiB ahead of the load stream: scans are
+// memory-bound past ~1 GB/s/core, and the explicit PREFETCHT0 keeps the
+// line fills ahead of the 4-lane consume rate across block boundaries
+// where the hardware streamer has to restart.
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func prefetchT0(p *int64, rows int)
+// Issues PREFETCHT0 for every cache line of rows*8 bytes starting at p.
+TEXT ·prefetchT0(SB), NOSPLIT, $0-16
+	MOVQ p+0(FP), SI
+	MOVQ rows+8(FP), CX
+	SHLQ $3, CX          // bytes
+pf_loop:
+	CMPQ CX, $0
+	JLE  pf_done
+	PREFETCHT0 (SI)
+	ADDQ $64, SI
+	SUBQ $64, CX
+	JMP  pf_loop
+pf_done:
+	RET
+
+// func rangeCountAVX2(vals *int64, n int, lo int64, width uint64) uint64
+// Counts vals[i] with uint64(vals[i]-lo) <= width. n must be a multiple
+// of 4 (callers pass multiples of 64).
+TEXT ·rangeCountAVX2(SB), NOSPLIT, $0-40
+	MOVQ vals+0(FP), SI
+	MOVQ n+8(FP), CX
+	MOVQ CX, R8                 // saved n: count = n + sum(acc lanes)
+	MOVQ $0x8000000000000000, DX
+	MOVQ lo+16(FP), AX
+	SUBQ DX, AX                 // lo' = lo - 2^63
+	MOVQ AX, X1
+	VPBROADCASTQ X1, Y1
+	MOVQ width+24(FP), AX
+	ADDQ DX, AX                 // width' = width + 2^63
+	MOVQ AX, X2
+	VPBROADCASTQ X2, Y2
+	VPXOR Y10, Y10, Y10         // four accumulators of -1 per non-match
+	VPXOR Y11, Y11, Y11
+	VPXOR Y12, Y12, Y12
+	VPXOR Y13, Y13, Y13
+rc_loop16:
+	CMPQ CX, $16
+	JL   rc_loop4
+	VMOVDQU (SI), Y3
+	VMOVDQU 32(SI), Y4
+	VMOVDQU 64(SI), Y5
+	VMOVDQU 96(SI), Y6
+	PREFETCHT0 1024(SI)
+	PREFETCHT0 1088(SI)
+	VPSUBQ Y1, Y3, Y3           // u = v - lo'
+	VPSUBQ Y1, Y4, Y4
+	VPSUBQ Y1, Y5, Y5
+	VPSUBQ Y1, Y6, Y6
+	VPCMPGTQ Y2, Y3, Y3         // all-ones where u > width' (non-match)
+	VPCMPGTQ Y2, Y4, Y4
+	VPCMPGTQ Y2, Y5, Y5
+	VPCMPGTQ Y2, Y6, Y6
+	VPADDQ Y3, Y10, Y10
+	VPADDQ Y4, Y11, Y11
+	VPADDQ Y5, Y12, Y12
+	VPADDQ Y6, Y13, Y13
+	ADDQ $128, SI
+	SUBQ $16, CX
+	JMP  rc_loop16
+rc_loop4:
+	CMPQ CX, $4
+	JL   rc_done
+	VMOVDQU (SI), Y3
+	VPSUBQ Y1, Y3, Y3
+	VPCMPGTQ Y2, Y3, Y3
+	VPADDQ Y3, Y10, Y10
+	ADDQ $32, SI
+	SUBQ $4, CX
+	JMP  rc_loop4
+rc_done:
+	VPADDQ Y11, Y10, Y10
+	VPADDQ Y13, Y12, Y12
+	VPADDQ Y12, Y10, Y10
+	VEXTRACTI128 $1, Y10, X3
+	VPADDQ X3, X10, X10
+	VPSRLDQ $8, X10, X3
+	VPADDQ X3, X10, X10
+	VZEROUPPER
+	MOVQ X10, AX
+	ADDQ R8, AX                 // n - nonmatches
+	MOVQ AX, ret+32(FP)
+	RET
+
+// func rangeCountSumAVX2(col, agg *int64, n int, lo int64, width uint64) (count uint64, sum int64)
+// Fused single-filter SUM kernel: count matches of col and sum agg over
+// the matching lanes. n must be a multiple of 4.
+TEXT ·rangeCountSumAVX2(SB), NOSPLIT, $0-56
+	MOVQ col+0(FP), SI
+	MOVQ agg+8(FP), DI
+	MOVQ n+16(FP), CX
+	MOVQ CX, R8
+	MOVQ $0x8000000000000000, DX
+	MOVQ lo+24(FP), AX
+	SUBQ DX, AX
+	MOVQ AX, X1
+	VPBROADCASTQ X1, Y1
+	MOVQ width+32(FP), AX
+	ADDQ DX, AX
+	MOVQ AX, X2
+	VPBROADCASTQ X2, Y2
+	VPXOR Y10, Y10, Y10         // count acc (-1 per non-match)
+	VPXOR Y11, Y11, Y11
+	VPXOR Y12, Y12, Y12         // sum acc
+	VPXOR Y13, Y13, Y13
+rcs_loop8:
+	CMPQ CX, $8
+	JL   rcs_loop4
+	VMOVDQU (SI), Y3
+	VMOVDQU 32(SI), Y4
+	PREFETCHT0 1024(SI)
+	PREFETCHT0 1024(DI)
+	VPSUBQ Y1, Y3, Y3
+	VPSUBQ Y1, Y4, Y4
+	VPCMPGTQ Y2, Y3, Y3         // non-match lanes all-ones
+	VPCMPGTQ Y2, Y4, Y4
+	VPADDQ Y3, Y10, Y10
+	VPADDQ Y4, Y11, Y11
+	VPANDN (DI), Y3, Y5         // agg where match, 0 elsewhere
+	VPANDN 32(DI), Y4, Y6
+	VPADDQ Y5, Y12, Y12
+	VPADDQ Y6, Y13, Y13
+	ADDQ $64, SI
+	ADDQ $64, DI
+	SUBQ $8, CX
+	JMP  rcs_loop8
+rcs_loop4:
+	CMPQ CX, $4
+	JL   rcs_done
+	VMOVDQU (SI), Y3
+	VPSUBQ Y1, Y3, Y3
+	VPCMPGTQ Y2, Y3, Y3
+	VPADDQ Y3, Y10, Y10
+	VPANDN (DI), Y3, Y5
+	VPADDQ Y5, Y12, Y12
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $4, CX
+	JMP  rcs_loop4
+rcs_done:
+	VPADDQ Y11, Y10, Y10
+	VPADDQ Y13, Y12, Y12
+	VEXTRACTI128 $1, Y10, X3
+	VPADDQ X3, X10, X10
+	VPSRLDQ $8, X10, X3
+	VPADDQ X3, X10, X10
+	VEXTRACTI128 $1, Y12, X4
+	VPADDQ X4, X12, X12
+	VPSRLDQ $8, X12, X4
+	VPADDQ X4, X12, X12
+	VZEROUPPER
+	MOVQ X10, AX
+	ADDQ R8, AX
+	MOVQ AX, count+40(FP)
+	MOVQ X12, AX
+	MOVQ AX, sum+48(FP)
+	RET
+
+// func maskWordsAVX2(vals *int64, out *uint64, nWords int, lo int64, width uint64) uint64
+// Evaluates the range predicate over nWords consecutive 64-value words,
+// writing one selection bitmask per word (bit k set iff value k matches),
+// and returns the OR of all produced words. Identical bit layout to the
+// portable maskWord.
+TEXT ·maskWordsAVX2(SB), NOSPLIT, $0-48
+	MOVQ vals+0(FP), SI
+	MOVQ out+8(FP), DI
+	MOVQ nWords+16(FP), R13
+	MOVQ $0x8000000000000000, DX
+	MOVQ lo+24(FP), AX
+	SUBQ DX, AX
+	MOVQ AX, X1
+	VPBROADCASTQ X1, Y1
+	MOVQ width+32(FP), AX
+	ADDQ DX, AX
+	MOVQ AX, X2
+	VPBROADCASTQ X2, Y2
+	XORQ R9, R9                 // any
+	TESTQ R13, R13
+	JZ   mw_done
+mw_word:
+	XORQ R10, R10               // m
+	XORQ CX, CX                 // shift
+	MOVQ $16, BX                // 16 groups of 4 lanes
+mw_group:
+	VMOVDQU (SI), Y3
+	PREFETCHT0 1024(SI)
+	VPSUBQ Y1, Y3, Y3
+	VPCMPGTQ Y2, Y3, Y3         // sign bit set on NON-match lanes
+	VMOVMSKPD Y3, AX            // 4 non-match bits
+	XORQ $0xF, AX               // match bits
+	SHLQ CX, AX
+	ORQ  AX, R10
+	ADDQ $32, SI
+	ADDQ $4, CX
+	DECQ BX
+	JNZ  mw_group
+	MOVQ R10, (DI)
+	ORQ  R10, R9
+	ADDQ $8, DI
+	DECQ R13
+	JNZ  mw_word
+mw_done:
+	MOVQ R9, ret+40(FP)
+	VZEROUPPER
+	RET
+
+// func maskWordsAndAVX2(vals *int64, out *uint64, nWords int, lo int64, width uint64) uint64
+// Like maskWordsAVX2 but ANDs each produced word into out[w], skipping
+// words whose existing mask is already zero, and returns the OR of the
+// resulting words.
+TEXT ·maskWordsAndAVX2(SB), NOSPLIT, $0-48
+	MOVQ vals+0(FP), SI
+	MOVQ out+8(FP), DI
+	MOVQ nWords+16(FP), R13
+	MOVQ $0x8000000000000000, DX
+	MOVQ lo+24(FP), AX
+	SUBQ DX, AX
+	MOVQ AX, X1
+	VPBROADCASTQ X1, Y1
+	MOVQ width+32(FP), AX
+	ADDQ DX, AX
+	MOVQ AX, X2
+	VPBROADCASTQ X2, Y2
+	XORQ R9, R9                 // any
+	TESTQ R13, R13
+	JZ   mwa_done
+mwa_word:
+	MOVQ (DI), R11              // existing mask
+	TESTQ R11, R11
+	JZ   mwa_skip
+	XORQ R10, R10
+	XORQ CX, CX
+	MOVQ $16, BX
+mwa_group:
+	VMOVDQU (SI), Y3
+	PREFETCHT0 1024(SI)
+	VPSUBQ Y1, Y3, Y3
+	VPCMPGTQ Y2, Y3, Y3
+	VMOVMSKPD Y3, AX
+	XORQ $0xF, AX
+	SHLQ CX, AX
+	ORQ  AX, R10
+	ADDQ $32, SI
+	ADDQ $4, CX
+	DECQ BX
+	JNZ  mwa_group
+	ANDQ R11, R10
+	MOVQ R10, (DI)
+	ORQ  R10, R9
+	ADDQ $8, DI
+	DECQ R13
+	JNZ  mwa_word
+	JMP  mwa_done
+mwa_skip:
+	ADDQ $512, SI               // 64 values
+	ADDQ $8, DI
+	DECQ R13
+	JNZ  mwa_word
+mwa_done:
+	MOVQ R9, ret+40(FP)
+	VZEROUPPER
+	RET
+
+DATA laneShifts<>+0(SB)/8, $0
+DATA laneShifts<>+8(SB)/8, $1
+DATA laneShifts<>+16(SB)/8, $2
+DATA laneShifts<>+24(SB)/8, $3
+GLOBL laneShifts<>(SB), RODATA|NOPTR, $32
+
+DATA laneOnes<>+0(SB)/8, $1
+DATA laneOnes<>+8(SB)/8, $1
+DATA laneOnes<>+16(SB)/8, $1
+DATA laneOnes<>+24(SB)/8, $1
+GLOBL laneOnes<>(SB), RODATA|NOPTR, $32
+
+DATA laneFours<>+0(SB)/8, $4
+DATA laneFours<>+8(SB)/8, $4
+DATA laneFours<>+16(SB)/8, $4
+DATA laneFours<>+24(SB)/8, $4
+GLOBL laneFours<>(SB), RODATA|NOPTR, $32
+
+// func maskedSumAVX2(agg *int64, mask *uint64, nWords int) int64
+// Sums agg[k] over the set bits of the nWords selection masks (64 values
+// per word), skipping all-zero words. Wraps mod 2^64 exactly like the
+// portable maskedSum.
+//
+// The mask word is broadcast straight from memory and the per-lane bit is
+// isolated with a growing VPSRLVQ shift vector ([0..3], +4 per group), so
+// the loop is pure VEX — a legacy-SSE GP->XMM move here would take the
+// AVX-SSE transition penalty on every group with YMM state dirty.
+TEXT ·maskedSumAVX2(SB), NOSPLIT, $0-32
+	MOVQ agg+0(FP), SI
+	MOVQ mask+8(FP), DI
+	MOVQ nWords+16(FP), R13
+	VMOVDQU laneOnes<>(SB), Y8
+	VMOVDQU laneFours<>(SB), Y9
+	VPXOR Y0, Y0, Y0            // sum acc
+	TESTQ R13, R13
+	JZ   ms_done
+ms_word:
+	MOVQ (DI), R10
+	TESTQ R10, R10
+	JZ   ms_skip
+	VPBROADCASTQ (DI), Y1       // whole mask word in every lane
+	VMOVDQU laneShifts<>(SB), Y7 // reset shifts to [0,1,2,3]
+	MOVQ $16, BX
+ms_group:
+	VPSRLVQ Y7, Y1, Y2          // lane j of group k gets bits >> (4k+j)
+	VPAND Y8, Y2, Y2            // isolate bit 0 per lane
+	VPCMPEQQ Y8, Y2, Y2         // all-ones where bit set
+	VPAND (SI), Y2, Y2          // agg where selected
+	VPADDQ Y2, Y0, Y0
+	VPADDQ Y9, Y7, Y7           // shifts += 4
+	PREFETCHT0 1024(SI)
+	ADDQ $32, SI
+	DECQ BX
+	JNZ  ms_group
+	ADDQ $8, DI
+	DECQ R13
+	JNZ  ms_word
+	JMP  ms_done
+ms_skip:
+	ADDQ $512, SI
+	ADDQ $8, DI
+	DECQ R13
+	JNZ  ms_word
+ms_done:
+	VEXTRACTI128 $1, Y0, X3
+	VPADDQ X3, X0, X0
+	VPSRLDQ $8, X0, X3
+	VPADDQ X3, X0, X0
+	VZEROUPPER
+	MOVQ X0, AX
+	MOVQ AX, ret+24(FP)
+	RET

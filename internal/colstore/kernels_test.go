@@ -8,10 +8,39 @@ import (
 	"repro/internal/query"
 )
 
+// scanTiers runs one ScanRange case through every compiled kernel tier —
+// the dispatched SIMD path (when available), the forced-portable path,
+// and the scalar oracle — and fails unless all agree exactly on the full
+// ScanResult. It is the contract every kernel rewrite must keep.
+func scanTiers(t *testing.T, s *Store, q query.Query, start, end int, exact bool) ScanResult {
+	t.Helper()
+	var want ScanResult
+	s.ScanRangeScalar(q, start, end, exact, &want)
+
+	prev := SetSIMD(false)
+	var portable ScanResult
+	s.ScanRange(q, start, end, exact, &portable)
+	SetSIMD(true)
+	var dispatched ScanResult
+	s.ScanRange(q, start, end, exact, &dispatched)
+	SetSIMD(prev)
+
+	if portable != want {
+		t.Fatalf("portable %+v != scalar %+v\nq=%s start=%d end=%d exact=%v",
+			portable, want, q, start, end, exact)
+	}
+	if dispatched != want {
+		t.Fatalf("%s %+v != scalar %+v\nq=%s start=%d end=%d exact=%v",
+			KernelName(), dispatched, want, q, start, end, exact)
+	}
+	return want
+}
+
 // TestScanKernelsMatchScalar is the differential property test guarding the
 // block kernels: for random schemas, data distributions, ranges, and queries
-// across every (agg, filter-count, exact) shape, ScanRange must agree with
-// the retained scalar oracle ScanRangeScalar exactly.
+// across every (agg, filter-count, exact) shape, the dispatched kernel (AVX2
+// where available), the portable branch-free kernel, and the retained scalar
+// oracle ScanRangeScalar must agree exactly.
 func TestScanKernelsMatchScalar(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260730))
 	for iter := 0; iter < 300; iter++ {
@@ -39,13 +68,43 @@ func TestScanKernelsMatchScalar(t *testing.T) {
 			}
 			start := rng.Intn(n+2) - 1 // exercise clamping
 			end := start + rng.Intn(n+2)
-			exact := rng.Intn(4) == 0 // exact asserts a caller guarantee; both paths must agree regardless
-			var got, want ScanResult
-			s.ScanRange(q, start, end, exact, &got)
-			s.ScanRangeScalar(q, start, end, exact, &want)
-			if got != want {
-				t.Fatalf("iter %d: kernel %+v != scalar %+v\nq=%s start=%d end=%d exact=%v n=%d",
-					iter, got, want, q, start, end, exact, n)
+			exact := rng.Intn(4) == 0 // exact asserts a caller guarantee; all tiers must agree regardless
+			scanTiers(t, s, q, start, end, exact)
+		}
+	}
+}
+
+// TestScanKernelsUnalignedRanges sweeps [start, end) windows that land on
+// every interesting boundary class — block-aligned, word-aligned,
+// mid-word, and sub-word tails of every length 0..64+ — because the SIMD
+// tier splits each range into vector body and scalar tail and the split
+// arithmetic is exactly where an off-by-one would hide.
+func TestScanKernelsUnalignedRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	const n = 3*1024 + 37 // three full blocks plus a ragged tail
+	cols := [][]int64{randColumn(rng, n), randColumn(rng, n), randColumn(rng, n)}
+	s, err := FromColumns(cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []query.Query{
+		query.NewCount(query.Filter{Dim: 0, Lo: -1 << 30, Hi: 1 << 30}),
+		query.NewSum(2, query.Filter{Dim: 0, Lo: -1 << 30, Hi: 1 << 30}),
+		query.NewCount(query.Filter{Dim: 0, Lo: -1 << 30, Hi: 1 << 30}, query.Filter{Dim: 1, Lo: 0, Hi: 1 << 38}),
+		query.NewSum(2, query.Filter{Dim: 0, Lo: -1 << 30, Hi: 1 << 30}, query.Filter{Dim: 1, Lo: 0, Hi: 1 << 38}),
+	}
+	starts := []int{0, 1, 63, 64, 65, 511, 1023, 1024, 1025, 2048 - 1, 2048}
+	// Window lengths crossing every tail length around word and block
+	// boundaries, plus full-range.
+	lengths := []int{0, 1, 3, 63, 64, 65, 127, 128, 1000, 1024, 1025, 2047, 2048, n}
+	for _, q := range queries {
+		for _, start := range starts {
+			for _, l := range lengths {
+				end := start + l
+				if end > n {
+					end = n
+				}
+				scanTiers(t, s, q, start, end, false)
 			}
 		}
 	}
@@ -69,14 +128,10 @@ func TestScanKernelsDomainEdges(t *testing.T) {
 			for _, q := range []query.Query{
 				query.NewCount(query.Filter{Dim: 0, Lo: lo, Hi: hi}),
 				query.NewSum(1, query.Filter{Dim: 0, Lo: lo, Hi: hi}),
+				query.NewSum(1, query.Filter{Dim: 0, Lo: lo, Hi: hi}, query.Filter{Dim: 1, Lo: math.MinInt64, Hi: math.MaxInt64}),
 				query.NewCount(query.Filter{Dim: 0, Lo: lo, Hi: hi}, query.Filter{Dim: 1, Lo: math.MinInt64, Hi: 0}),
 			} {
-				var got, want ScanResult
-				s.ScanRange(q, 0, len(col), false, &got)
-				s.ScanRangeScalar(q, 0, len(col), false, &want)
-				if got != want {
-					t.Fatalf("lo=%d hi=%d q=%s: kernel %+v != scalar %+v", lo, hi, q, got, want)
-				}
+				scanTiers(t, s, q, 0, len(col), false)
 			}
 		}
 	}
@@ -162,13 +217,37 @@ func benchStore(b *testing.B, dims int) *Store {
 	return s
 }
 
-// BenchmarkScanKernels measures single-thread throughput of the block
-// kernels on the canonical KernelBenchShapes. Every shape's ns/op is a CI
-// regression-gate metric (cmd/benchgate parses the output against
-// .github/scan-baseline.json).
+// BenchmarkScanKernels measures single-thread throughput of the
+// dispatched block kernels (AVX2 where available) on the canonical
+// KernelBenchShapes. Every shape's ns/op is a CI regression-gate metric
+// (cmd/benchgate parses the output against .github/scan-baseline.json).
 func BenchmarkScanKernels(b *testing.B) {
 	s := benchStore(b, 4)
 	n := s.NumRows()
+	for _, sh := range KernelBenchShapes() {
+		b.Run(sh.Name, func(b *testing.B) {
+			b.SetBytes(int64(n) * 8)
+			var res ScanResult
+			for i := 0; i < b.N; i++ {
+				res = ScanResult{}
+				s.ScanRange(sh.Query, 0, n, false, &res)
+			}
+			if res.Count == 0 {
+				b.Fatal("benchmark query matched nothing")
+			}
+		})
+	}
+}
+
+// BenchmarkScanKernelsPortable is the same suite with SIMD dispatch
+// forced off, so the portable branch-free tier keeps its own CI baseline
+// and the SIMD-vs-portable speedup is measurable within one run (the
+// benchgate -min-speedup pairing against BenchmarkScanKernels).
+func BenchmarkScanKernelsPortable(b *testing.B) {
+	s := benchStore(b, 4)
+	n := s.NumRows()
+	prev := SetSIMD(false)
+	defer SetSIMD(prev)
 	for _, sh := range KernelBenchShapes() {
 		b.Run(sh.Name, func(b *testing.B) {
 			b.SetBytes(int64(n) * 8)

@@ -343,9 +343,14 @@ func (t *Tsunami) ExecuteParallelOn(q query.Query, workers int, submit func(task
 // chunkRows is the sub-region scan granularity: planned physical ranges
 // longer than this are split into chunkRows pieces so even a single huge
 // range spreads across the pool. A multiple of the colstore kernel block
-// (1024 rows), large enough that per-chunk scheduling stays negligible
-// against the scan itself.
-const chunkRows = 16 * 1024
+// (1024 rows). Sized against kernel speed, not cache: the AVX2 kernels
+// scan a chunk's column in ~15-30us, so at 16k rows the shared-cursor
+// fetch and call overhead (~100ns) started to show at high worker
+// counts; 64k keeps it under ~1% while still yielding enough chunks for
+// the pool to balance (a 1M-row region splits 16 ways). Chunks are a
+// scheduling unit, not a cache-blocking unit — cache residency is the
+// kernels' 1024-row block's job.
+const chunkRows = 64 * 1024
 
 // executeChunked is the sub-region parallel path: plan the physical row
 // ranges every routed region would scan (grid regions via PlanRanges,
