@@ -63,6 +63,16 @@ func compareReports(w io.Writer, oldRaw, newRaw []byte) error {
 	oldM := flattenExperiments(oldRep.Experiments)
 	newM := flattenExperiments(newRep.Experiments)
 
+	// The observability tax gets its own drift check: unlike throughput
+	// (where runner variance swamps small moves), overhead is a ratio
+	// measured within each run, so a point of movement means the
+	// instrumentation itself got heavier or lighter.
+	if oldV, inOld := oldM["obs.overhead_pct"]; inOld {
+		if newV, inNew := newM["obs.overhead_pct"]; inNew && math.Abs(newV-oldV) > 1 {
+			fmt.Fprintf(w, "WARNING: obs overhead drifted %.2f%% -> %.2f%% (more than 1 point) — the instrumentation cost itself changed\n", oldV, newV)
+		}
+	}
+
 	keys := make([]string, 0, len(oldM)+len(newM))
 	seen := make(map[string]bool, len(oldM)+len(newM))
 	for k := range oldM {

@@ -17,6 +17,15 @@
 // instead of gating, which is how the reference numbers are refreshed
 // after an intentional perf change (commit the result).
 //
+// Two purely relative gates need no baseline file (immune to
+// runner-hardware variance): -min-speedup requires kernel benchmarks to
+// beat their scalar twins by a factor, measured within one run; and
+// -max-overhead gates the `overhead-pct` metric that differential
+// benchmarks (BenchmarkObsOverhead) report — CI's observability budget:
+//
+//	go test -run '^$' -bench BenchmarkObsOverhead -benchtime 1x . | \
+//	    go run ./cmd/benchgate -max-overhead 2
+//
 // A second mode compares two committed tsunami-bench JSON artifacts and
 // prints the metric-by-metric delta (the repo's benchmark timeline):
 //
@@ -63,6 +72,7 @@ func main() {
 		minSpeedup   = flag.Float64("min-speedup", 0, "also require kernel/scalar speedup >= this, measured within this run (0 disables)")
 		kernelPrefix = flag.String("kernel-prefix", "BenchmarkScanKernels", "benchmark prefix of the kernel side of the speedup gate")
 		scalarPrefix = flag.String("scalar-prefix", "BenchmarkScanScalar", "benchmark prefix of the scalar side of the speedup gate")
+		maxOverhead  = flag.Float64("max-overhead", 0, "fail when a benchmark's reported overhead-pct metric exceeds this many percent (0 disables)")
 		compare      = flag.Bool("compare", false, "compare two tsunami-bench JSON reports (old new) and print the delta table")
 	)
 	flag.Parse()
@@ -77,12 +87,19 @@ func main() {
 		}
 		return
 	}
-	if *baselinePath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
+	// The absolute baseline is optional when a purely relative gate
+	// (-min-speedup, -max-overhead) is requested: relative gates compare
+	// benchmarks within one run and need no reference file.
+	if *baselinePath == "" && *minSpeedup == 0 && *maxOverhead == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required (or a relative gate: -min-speedup / -max-overhead)")
+		os.Exit(2)
+	}
+	if *baselinePath == "" && *update {
+		fmt.Fprintln(os.Stderr, "benchgate: -update needs -baseline")
 		os.Exit(2)
 	}
 
-	observed, err := parseBench(os.Stdin)
+	observed, overheads, err := parseBench(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
@@ -101,40 +118,42 @@ func main() {
 		return
 	}
 
-	raw, err := os.ReadFile(*baselinePath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
-	}
-	var base Baseline
-	if err := json.Unmarshal(raw, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *baselinePath, err)
-		os.Exit(2)
-	}
-
 	failed := 0
-	names := make([]string, 0, len(base.Benchmarks))
-	for name := range base.Benchmarks {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		entry := base.Benchmarks[name]
-		got, ok := observed[name]
-		if !ok {
-			fmt.Printf("MISSING  %-40s baseline %.0f ns/op, not in this run\n", name, entry.NsPerOp)
-			failed++
-			continue
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
 		}
-		limit := entry.NsPerOp * (1 + entry.Tolerance)
-		ratio := got / entry.NsPerOp
-		if got > limit {
-			fmt.Printf("FAIL     %-40s %.0f ns/op vs baseline %.0f (%.2fx, limit %.2fx)\n",
-				name, got, entry.NsPerOp, ratio, 1+entry.Tolerance)
-			failed++
-		} else {
-			fmt.Printf("ok       %-40s %.0f ns/op vs baseline %.0f (%.2fx)\n",
-				name, got, entry.NsPerOp, ratio)
+		var base Baseline
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *baselinePath, err)
+			os.Exit(2)
+		}
+
+		names := make([]string, 0, len(base.Benchmarks))
+		for name := range base.Benchmarks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			entry := base.Benchmarks[name]
+			got, ok := observed[name]
+			if !ok {
+				fmt.Printf("MISSING  %-40s baseline %.0f ns/op, not in this run\n", name, entry.NsPerOp)
+				failed++
+				continue
+			}
+			limit := entry.NsPerOp * (1 + entry.Tolerance)
+			ratio := got / entry.NsPerOp
+			if got > limit {
+				fmt.Printf("FAIL     %-40s %.0f ns/op vs baseline %.0f (%.2fx, limit %.2fx)\n",
+					name, got, entry.NsPerOp, ratio, 1+entry.Tolerance)
+				failed++
+			} else {
+				fmt.Printf("ok       %-40s %.0f ns/op vs baseline %.0f (%.2fx)\n",
+					name, got, entry.NsPerOp, ratio)
+			}
 		}
 	}
 	// Relative gate: kernel vs scalar measured in the same run on the same
@@ -170,6 +189,42 @@ func main() {
 			failed++
 		}
 	}
+	// Overhead gate: benchmarks measure the instrumented-vs-bare slowdown
+	// differentially (paired timed passes milliseconds apart, median of
+	// per-pair ratios — see BenchmarkObsOverhead) and report it as an
+	// `overhead-pct` metric; the gate reads the metric and fails when it
+	// exceeds the budget. Measuring the two sides as separate benchmark
+	// runs and comparing aggregates is NOT robust: a multi-second noisy
+	// window on a loaded runner lands asymmetrically and fakes (or masks)
+	// an overhead several times the real one. With -count N the gate takes
+	// the median of the runs' reported values.
+	if *maxOverhead > 0 {
+		gated := 0
+		names := make([]string, 0, len(overheads))
+		for name := range overheads {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			vals := append([]float64(nil), overheads[name]...)
+			sort.Float64s(vals)
+			overhead := vals[len(vals)/2]
+			if len(vals)%2 == 0 {
+				overhead = (vals[len(vals)/2-1] + vals[len(vals)/2]) / 2
+			}
+			gated++
+			if overhead > *maxOverhead {
+				fmt.Printf("FAIL     %-40s %+.2f%% over bare, budget %.2f%%\n", name, overhead, *maxOverhead)
+				failed++
+			} else {
+				fmt.Printf("ok       %-40s %+.2f%% over bare (budget %.2f%%)\n", name, overhead, *maxOverhead)
+			}
+		}
+		if gated == 0 {
+			fmt.Println("benchgate: -max-overhead set but no benchmark reported an overhead-pct metric")
+			failed++
+		}
+	}
 	if failed > 0 {
 		fmt.Printf("benchgate: %d benchmark(s) regressed past tolerance\n", failed)
 		os.Exit(1)
@@ -177,10 +232,16 @@ func main() {
 }
 
 // parseBench extracts "Benchmark<Name>[-P] <N> <ns> ns/op ..." lines,
-// keyed by name with the GOMAXPROCS suffix stripped. Repeated runs of one
-// benchmark keep the fastest (the standard way to de-noise).
-func parseBench(r *os.File) (map[string]float64, error) {
+// keyed by name with the GOMAXPROCS suffix stripped — including the
+// "#01"-style suffixes go test appends when a benchmark runs b.Run with
+// one name several times. Repeated runs of one benchmark keep the
+// fastest ns/op (the standard de-noising for the absolute and speedup
+// gates). The second map collects every value of the custom
+// `overhead-pct` metric differential benchmarks report, in input order,
+// for the -max-overhead gate.
+func parseBench(r *os.File) (map[string]float64, map[string][]float64, error) {
 	out := make(map[string]float64)
+	overheads := make(map[string][]float64)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -190,28 +251,39 @@ func parseBench(r *os.File) (map[string]float64, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		// Find the "ns/op" column; its left neighbor is the value.
+		name := fields[0]
+		if cut := strings.LastIndex(name, "-"); cut > 0 {
+			if _, err := strconv.Atoi(name[cut+1:]); err == nil {
+				name = name[:cut]
+			}
+		}
+		if cut := strings.LastIndex(name, "#"); cut > 0 {
+			if _, err := strconv.Atoi(name[cut+1:]); err == nil {
+				name = name[:cut]
+			}
+		}
+		// Units follow their values column-wise: "<value> ns/op",
+		// "<value> overhead-pct", ...
 		for i := 2; i < len(fields); i++ {
-			if fields[i] != "ns/op" {
-				continue
-			}
-			ns, err := strconv.ParseFloat(fields[i-1], 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad ns/op value in %q: %v", line, err)
-			}
-			name := fields[0]
-			if cut := strings.LastIndex(name, "-"); cut > 0 {
-				if _, err := strconv.Atoi(name[cut+1:]); err == nil {
-					name = name[:cut]
+			switch fields[i] {
+			case "ns/op":
+				ns, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("bad ns/op value in %q: %v", line, err)
 				}
+				if prev, ok := out[name]; !ok || ns < prev {
+					out[name] = ns
+				}
+			case "overhead-pct":
+				pct, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("bad overhead-pct value in %q: %v", line, err)
+				}
+				overheads[name] = append(overheads[name], pct)
 			}
-			if prev, ok := out[name]; !ok || ns < prev {
-				out[name] = ns
-			}
-			break
 		}
 	}
-	return out, sc.Err()
+	return out, overheads, sc.Err()
 }
 
 // writeBaseline emits a fresh baseline file from the observed run.

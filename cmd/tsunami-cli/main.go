@@ -42,6 +42,17 @@
 //	    -rebalance-every 30s -rebalance-skew 2 \
 //	    -snapshot-dir /tmp/taxi-shards -snapshot-every 30s
 //
+// Every mode records into one metrics registry: `stats` prints a unified
+// serving summary (queries, latency quantiles, scan volume, ingest,
+// maintenance) from it, `trace <query>` runs a query with explain-analyze
+// stage timings, and -metrics ADDR serves the registry over HTTP —
+// Prometheus text at /metrics, JSON quantiles at /statsz, and
+// net/http/pprof under /debug/pprof/:
+//
+//	tsunami-cli -dataset taxi -live -metrics 127.0.0.1:9100
+//	> trace count passengers=1
+//	> stats
+//
 // In both serve modes SIGINT/SIGTERM shut down gracefully: ingest stops,
 // maintenance quiesces, and a final snapshot is written before exit.
 package main
@@ -50,6 +61,8 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -64,6 +77,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/gridtree"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/qparse"
 	"repro/internal/query"
 	"repro/internal/sharded"
@@ -76,6 +90,17 @@ type session struct {
 	idx   *core.Tsunami  // offline mode only
 	live  *live.Store    // live mode only
 	shard *sharded.Store // sharded mode only
+
+	// metrics is the registry every mode records into; the live and
+	// sharded stores instrument themselves, the offline index is wrapped
+	// here through qm so `stats` reads one schema regardless of mode.
+	metrics *obs.Registry
+	qm      *obs.QueryMetrics
+
+	// lastSnap/lastStats anchor the rates (q/s, Mrows/s, GB/s) the
+	// `stats` command prints for the interval since its previous run.
+	lastSnap  obs.Snapshot
+	lastStats time.Time
 
 	// shutdown quiesces whichever serving mode is active (final
 	// snapshots included); it is safe to call more than once.
@@ -99,7 +124,25 @@ func (s *session) execute(q query.Query) colstore.ScanResult {
 	if s.shard != nil {
 		return s.shard.Execute(q)
 	}
-	return s.idx.Execute(q)
+	start := time.Now()
+	res := s.idx.Execute(q)
+	s.qm.Observe(time.Since(start), res.PointsScanned, res.BytesTouched)
+	return res
+}
+
+// executeTrace answers q with an explain-analyze trace, feeding the same
+// metrics as execute so traced queries do not skew the aggregates.
+func (s *session) executeTrace(q query.Query) (colstore.ScanResult, *obs.QueryTrace) {
+	if s.live != nil {
+		return s.live.ExecuteTrace(q)
+	}
+	if s.shard != nil {
+		return s.shard.ExecuteTrace(q)
+	}
+	start := time.Now()
+	res, tr := s.idx.ExecuteTrace(q)
+	s.qm.Observe(time.Since(start), res.PointsScanned, res.BytesTouched)
+	return res, tr
 }
 
 func (s *session) insert(row []int64) error {
@@ -137,6 +180,7 @@ func main() {
 		snapEvery = flag.Duration("snapshot-every", 30*time.Second, "periodic snapshot interval (needs -snapshot or -snapshot-dir)")
 		rebEvery  = flag.Duration("rebalance-every", 0, "shard imbalance check interval, 0 = no auto-rebalance (-shards with -partition range)")
 		rebSkew   = flag.Float64("rebalance-skew", 2, "rebalance when the largest shard exceeds this multiple of the mean")
+		metrics   = flag.String("metrics", "", "serve /metrics, /statsz, and /debug/pprof/ on this address (e.g. 127.0.0.1:9100)")
 	)
 	flag.Parse()
 	if *liveMode && *shards > 0 {
@@ -155,9 +199,15 @@ func main() {
 		fatal(fmt.Errorf("-snapshot-dir needs -shards (use -snapshot with -live)"))
 	}
 
+	// One registry serves every mode: the live/sharded stores instrument
+	// themselves through it, plain mode wraps index execution below, and
+	// -metrics exposes it over HTTP.
+	reg := obs.NewRegistry()
+
 	liveCfg := live.Config{
 		MergeThreshold:       *mergeAt,
 		RegionMergeThreshold: *regionAt,
+		Metrics:              reg,
 	}
 	if *rebEvery > 0 && (*shards == 0 || *partition == "hash") {
 		fatal(fmt.Errorf("-rebalance-every needs -shards with -partition range"))
@@ -166,6 +216,7 @@ func main() {
 		Shards:      *shards,
 		Dim:         *partDim,
 		Learned:     *partition != "hash",
+		Metrics:     reg,
 		Live:        liveCfg,
 		SnapshotDir: *snapDir,
 		OnEvent:     printShardEvent,
@@ -178,7 +229,12 @@ func main() {
 		shardCfg.Live.SnapshotInterval = *snapEvery
 	}
 
-	s := &session{shutdown: func() {}}
+	s := &session{
+		metrics:   reg,
+		qm:        obs.NewQueryMetrics(reg),
+		lastStats: time.Now(),
+		shutdown:  func() {},
+	}
 	var names []string
 	var work []query.Query
 
@@ -245,6 +301,21 @@ func main() {
 			*mergeAt, s.live.Stats().DetectorTypes > 0)
 	}
 
+	// The observability endpoint binds synchronously so a bad address
+	// fails loudly instead of the operator scraping a port nothing holds.
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fatal(err)
+		}
+		go func() {
+			if err := http.Serve(ln, obs.Handler(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "tsunami-cli: metrics endpoint:", err)
+			}
+		}()
+		fmt.Printf("metrics: http://%s/metrics (also /statsz, /debug/pprof/)\n", ln.Addr())
+	}
+
 	// Graceful shutdown for the serving modes: stop ingest, quiesce
 	// maintenance, write the final snapshot(s), then exit. Ctrl-C on a
 	// plain offline shell just exits.
@@ -279,6 +350,10 @@ func main() {
 		s.shutdown()
 		os.Exit(0)
 	}()
+
+	// Anchor the first `stats` rate window at serve time so build work
+	// never dilutes the q/s and GB/s figures.
+	s.lastSnap, s.lastStats = reg.Snapshot(), time.Now()
 
 	fmt.Println(`type "help" for commands`)
 	sc := bufio.NewScanner(os.Stdin)
@@ -350,8 +425,9 @@ func eval(s *session, names []string, line string) bool {
 		fmt.Print(`commands:
   count <pred>...        COUNT(*) under the predicates, e.g. count qty=3 10<=day<=20
   sum <col> <pred>...    SUM(col)
-  explain <pred>...      show which regions/cells the query touches
-  stats                  index structure statistics (Tab 4 of the paper)
+  explain <pred>...      show which regions/cells the query touches (plan only)
+  trace <count|sum ...>  explain-analyze: run the query, show per-stage and per-shard timings
+  stats                  index structure + serving telemetry (latency quantiles, scan volume)
   insert v1,v2,...       add a row (live/sharded: visible immediately, merged in background)
   merge                  fold buffered rows into the clustered layout now
   rebalance              re-learn shard cuts and migrate rows online (sharded, range partitioner)
@@ -359,32 +435,24 @@ func eval(s *session, names []string, line string) bool {
   quit
 `)
 	case "stats":
-		idx := s.index()
-		st := idx.IndexStats()
-		fmt.Printf("grid tree: %d nodes, depth %d, %d regions\n", st.NumGridTreeNodes, st.GridTreeDepth, st.NumLeafRegions)
-		fmt.Printf("points/region: min=%d median=%d max=%d\n", st.MinPointsPerRegion, st.MedianPointsPerRegion, st.MaxPointsPerRegion)
-		fmt.Printf("avg FMs/region=%.2f avg CCDFs/region=%.2f, %d grid cells, %d bytes, %d buffered inserts\n",
-			st.AvgFMsPerRegion, st.AvgCCDFsPerRegion, st.TotalGridCells, idx.SizeBytes(), idx.NumBuffered())
-		if s.live != nil {
-			ls := s.live.Stats()
-			fmt.Printf("live: epoch %d, %d clustered + %d buffered rows, %d queries, %d inserts, %d merges, %d reoptimizations, %d snapshots\n",
-				ls.Epoch, ls.ClusteredRows, ls.BufferedRows, ls.Queries, ls.Inserts, ls.Merges, ls.Reoptimizations, ls.Snapshots)
+		printStats(s)
+	case "trace":
+		rest := strings.TrimSpace(line[len("trace"):])
+		if rest == "" {
+			fmt.Println("usage: trace <count|sum ...>, e.g. trace count qty=3 10<=day<=20")
+			return false
 		}
-		if s.shard != nil {
-			ss := s.shard.Stats()
-			fanout := 0.0
-			if ss.Queries > 0 {
-				fanout = float64(ss.ShardsScanned) / float64(ss.Queries)
-			}
-			fmt.Printf("sharded: %d shards (%s), %d clustered + %d buffered rows, %d queries (fan-out %.2f, %d shard scans pruned), %d inserts, %d merges, %d snapshots\n",
-				ss.Shards, ss.Partitioner, ss.ClusteredRows, ss.BufferedRows, ss.Queries, fanout, ss.ShardsPruned, ss.Inserts, ss.Merges, ss.Snapshots)
-			skew, _ := s.shard.Skew()
-			fmt.Printf("rebalance: generation %d, %d rebalances, %d rows migrated, current skew %.2fx\n",
-				ss.Generation, ss.Rebalances, ss.RowsMigrated, skew)
-			for i, ls := range ss.PerShard {
-				fmt.Printf("  shard %d: epoch %d, %d clustered + %d buffered rows, %d queries\n",
-					i, ls.Epoch, ls.ClusteredRows, ls.BufferedRows, ls.Queries)
-			}
+		q, err := qparse.Parse(rest, names)
+		if err != nil {
+			fmt.Println(err)
+			return false
+		}
+		res, tr := s.executeTrace(q)
+		fmt.Print(tr.String())
+		if strings.HasPrefix(strings.ToLower(rest), "sum") {
+			fmt.Printf("sum=%d count=%d avg=%.2f\n", res.Sum, res.Count, res.Avg())
+		} else {
+			fmt.Printf("count=%d\n", res.Count)
 		}
 	case "insert":
 		rest := strings.TrimSpace(line[len("insert"):])
@@ -490,6 +558,119 @@ func eval(s *session, names []string, line string) bool {
 		fmt.Printf("unknown command %q (try help)\n", verb)
 	}
 	return false
+}
+
+// printStats prints the index-structure block (Tab 4 of the paper)
+// followed by one serving block whose schema is identical across the
+// plain, live, and sharded modes — every figure in it is sourced from the
+// shared metrics registry, so `stats` and a /metrics scrape can never
+// disagree. Rates cover the window since the previous stats command.
+func printStats(s *session) {
+	idx := s.index()
+	st := idx.IndexStats()
+	fmt.Printf("grid tree: %d nodes, depth %d, %d regions\n", st.NumGridTreeNodes, st.GridTreeDepth, st.NumLeafRegions)
+	fmt.Printf("points/region: min=%d median=%d max=%d\n", st.MinPointsPerRegion, st.MedianPointsPerRegion, st.MaxPointsPerRegion)
+	fmt.Printf("avg FMs/region=%.2f avg CCDFs/region=%.2f, %d grid cells, %d bytes, %d buffered inserts\n",
+		st.AvgFMsPerRegion, st.AvgCCDFsPerRegion, st.TotalGridCells, idx.SizeBytes(), idx.NumBuffered())
+
+	now := time.Now()
+	snap := s.metrics.Snapshot()
+	delta := snap.Diff(s.lastSnap)
+	dt := now.Sub(s.lastStats).Seconds()
+	s.lastSnap, s.lastStats = snap, now
+
+	// End-to-end latency: the scatter-gather histogram when sharding (the
+	// shared query-path histogram then counts per-shard executes), the
+	// shared histogram otherwise.
+	latName := obs.MQueryLatency
+	if s.shard != nil {
+		latName = obs.MShardedQueryLatency
+	}
+	lat := snap.Hists[latName]
+
+	fmt.Printf("serving (rates over last %.1fs):\n", dt)
+	fmt.Printf("  %-12s %s total, %s | %s\n", "queries",
+		fmtCount(lat.Count()), fmtRate(float64(delta.Hists[latName].Count()), dt, "q/s"),
+		fmtQuantiles(lat))
+	fmt.Printf("  %-12s %s rows, %s | %s, %s\n", "scanned",
+		fmtCount(snap.Counters[obs.MScanRows]), fmtBytes(snap.Counters[obs.MScanBytes]),
+		fmtRate(float64(delta.Counters[obs.MScanRows])/1e6, dt, "Mrows/s"),
+		fmtRate(float64(delta.Counters[obs.MScanBytes])/1e9, dt, "GB/s"))
+	fmt.Printf("  %-12s %d rows buffered, %s ingested | ingest p99 %s\n", "ingest",
+		s.buffered(), fmtCount(snap.Counters[obs.MLiveIngestRows]),
+		fmtSec(snap.Hists[obs.MLiveIngestLatency].Quantile(0.99)))
+	fmt.Printf("  %-12s %d merges, %d reoptimizations (%d detector fires), %d snapshots", "maintenance",
+		snap.Counters[obs.MLiveMerges], snap.Counters[obs.MLiveReoptimizes],
+		snap.Counters[obs.MLiveDetectorFires], snap.Counters[obs.MLiveSnapshots])
+	if e, ok := snap.Gauges[obs.MLiveEpoch]; ok {
+		fmt.Printf(", epoch %d", int64(e))
+	}
+	fmt.Println()
+
+	if s.shard == nil {
+		return
+	}
+	fanout := snap.Hists[obs.MShardedFanout]
+	fmt.Printf("  %-12s fan-out mean %.2f, %s shard scans, %s pruned\n", "routing",
+		fanout.Mean(),
+		fmtCount(snap.Counters[obs.MShardedShardsScanned]),
+		fmtCount(snap.Counters[obs.MShardedShardsPruned]))
+	fmt.Printf("  %-12s %d rebalances, %s rows migrated, skew %.2fx\n", "rebalance",
+		snap.Counters[obs.MShardedRebalances],
+		fmtCount(snap.Counters[obs.MShardedRowsMigrated]),
+		snap.Gauges[obs.MShardedSkew])
+	for i := 0; i < s.shard.NumShards(); i++ {
+		label := fmt.Sprintf(`{shard="%d"}`, i)
+		fmt.Printf("  %-12s epoch %d, %d buffered rows\n", fmt.Sprintf("shard %d", i),
+			int64(snap.Gauges[obs.MLiveEpoch+label]),
+			int64(snap.Gauges[obs.MLiveBufferedRows+label]))
+	}
+}
+
+// fmtQuantiles renders a latency histogram's tail, or a placeholder
+// before the first query so the schema keeps its shape.
+func fmtQuantiles(h obs.HistSnapshot) string {
+	if h.Count() == 0 {
+		return "no queries yet"
+	}
+	return fmt.Sprintf("p50 %s  p95 %s  p99 %s  p999 %s",
+		fmtSec(h.Quantile(0.5)), fmtSec(h.Quantile(0.95)),
+		fmtSec(h.Quantile(0.99)), fmtSec(h.Quantile(0.999)))
+}
+
+func fmtSec(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+func fmtRate(v, dt float64, unit string) string {
+	if dt <= 0 {
+		return "- " + unit
+	}
+	return fmt.Sprintf("%.2f %s", v/dt, unit)
+}
+
+func fmtCount(n uint64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fB", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.2fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	}
+	return strconv.FormatUint(n, 10)
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return strconv.FormatUint(n, 10) + " B"
 }
 
 func generate(name string, rows, dims int, seed int64) *datasets.Dataset {

@@ -1,104 +1,155 @@
-// Live monitoring pipeline: exercises the paper's §8 extensions end to
-// end. A Perfmon-like metrics table serves dashboard queries while new
-// samples stream in (buffered in delta siblings), the workload drifts from
-// "recent high load" dashboards to "historical memory audit" reports, a
-// shift detector notices, and the index re-optimizes for the new workload.
+// Live monitoring over the observability endpoint: a LiveStore serves a
+// Perfmon-like metrics table through an Executor while writers stream
+// fresh samples in, and everything — queue depth, per-query latency
+// histograms, ingest/merge timings, epoch publishes — records into one
+// metrics registry exposed over HTTP. The monitor below never touches
+// Stats() or the store directly: like a real dashboard it polls the
+// endpoint (/statsz for rendered quantiles, /metrics for the raw
+// Prometheus exposition a scraper would ingest) and renders what it sees.
 //
 //	go run ./examples/live-monitoring
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
 	"time"
 
 	tsunami "repro"
 )
 
+// statsz mirrors the /statsz JSON document (the monitor deliberately
+// decodes it off the wire instead of importing registry types — this is
+// what a dashboard in another process would do).
+type statsz struct {
+	Counters map[string]uint64  `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+	Hists    map[string]struct {
+		Count uint64  `json:"count"`
+		Mean  float64 `json:"mean"`
+		P50   float64 `json:"p50"`
+		P99   float64 `json:"p99"`
+	} `json:"histograms"`
+}
+
 func main() {
-	const rows = 120_000
+	const rows = 60_000
 	ds := tsunami.GeneratePerfmon(rows, 1)
+	work := tsunami.WorkloadFor(ds, 40, 2)
+	idx := tsunami.New(ds.Store, work, tsunami.Options{OptimizerIters: 2, MaxOptQueries: 32})
 
-	dashboards := tsunami.GenerateWorkload(ds.Store, []tsunami.TypeSpec{
-		{Name: "recent-high-load", Dims: []tsunami.DimSpec{
-			{Dim: 0, Sel: 0.08, Jitter: 0.2, Skew: tsunami.SkewRecent}, // time
-			{Dim: 4, Sel: 0.1, Jitter: 0.2, Skew: tsunami.SkewRecent},  // load1
-		}},
-		{Name: "recent-cpu", Dims: []tsunami.DimSpec{
-			{Dim: 0, Sel: 0.1, Jitter: 0.2, Skew: tsunami.SkewRecent},
-			{Dim: 2, Sel: 0.1, Jitter: 0.2, Skew: tsunami.SkewRecent}, // cpu_user
-		}},
-	}, 100, 2)
+	// One registry across the stack: the store records ingest and
+	// maintenance, the executor records queue wait/depth, both feed the
+	// shared query-path histograms.
+	m := tsunami.NewMetrics()
+	ls := tsunami.NewLiveStore(idx, work, tsunami.LiveOptions{Metrics: m, MergeThreshold: 4096})
+	defer ls.Close()
+	ex := tsunami.NewExecutorSource(ls, tsunami.ExecutorOptions{Workers: 2, Metrics: m})
+	defer ex.Close()
 
-	idx := tsunami.New(ds.Store, dashboards, tsunami.Options{})
-	det := tsunami.NewShiftDetector(ds.Store, dashboards, tsunami.ShiftConfig{WindowSize: 120})
-	fmt.Printf("built index over %d rows; detector fingerprinted %d query types\n",
-		rows, det.NumTypes())
-
-	// Phase 1: normal operation — dashboard queries plus streaming inserts.
-	rng := rand.New(rand.NewSource(3))
-	for i := 0; i < 2000; i++ {
-		if err := idx.Insert([]int64{
-			525000 + rng.Int63n(600), // fresh timestamps
-			rng.Int63n(1000),
-			rng.Int63n(10000), rng.Int63n(5000),
-			rng.Int63n(3000), rng.Int63n(3000),
-			500 + rng.Int63n(9500),
-		}); err != nil {
-			panic(err)
-		}
-	}
-	fmt.Printf("phase 1: %d samples buffered in delta siblings\n", idx.NumBuffered())
-	// Serve a live mix of both dashboard types.
-	for k := 0; k < 70; k++ {
-		for _, q := range []tsunami.Query{dashboards[k], dashboards[100+k]} {
-			idx.Execute(q)
-			det.Observe(q)
-		}
-	}
-	fmt.Printf("phase 1: dashboard latency %v, shift detected: %v\n",
-		avg(idx, dashboards[:100]), det.Analyze().ShiftDetected)
-
-	// Fold the buffered samples into the clustered layout.
-	if err := idx.MergeDeltas(); err != nil {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("merged deltas: table now %d rows, buffer empty: %v\n",
-		idx.Store().NumRows(), idx.NumBuffered() == 0)
+	go http.Serve(ln, tsunami.MetricsHandler(m))
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving %s/metrics (Prometheus), /statsz (JSON), /debug/pprof/\n\n", base)
 
-	// Phase 2: the workload drifts to historical audits.
-	audits := tsunami.GenerateWorkload(idx.Store(), []tsunami.TypeSpec{
-		{Name: "memory-audit", Dims: []tsunami.DimSpec{
-			{Dim: 6, Sel: 0.05, Jitter: 0.2, Skew: tsunami.SkewExtremes}, // mem
-			{Dim: 0, Sel: 0.3, Jitter: 0.2, Skew: tsunami.SkewLow},       // old data
-		}},
-		{Name: "machine-history", Dims: []tsunami.DimSpec{
-			{Dim: 1, Sel: 0.02, Jitter: 0.2, Skew: tsunami.SkewUniform}, // machine
-			{Dim: 0, Sel: 0.5, Jitter: 0.2, Skew: tsunami.SkewLow},
-		}},
-	}, 100, 4)
-	for _, q := range audits[:150] {
-		det.Observe(q)
+	// Load: one writer streams perturbed samples (forcing background
+	// merges straight through the monitored window), one reader drives
+	// dashboard batches through the executor pool.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(3))
+		batch := make([][]int64, 32)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for k := range batch {
+				batch[k] = []int64{
+					525000 + rng.Int63n(600), rng.Int63n(1000),
+					rng.Int63n(10000), rng.Int63n(5000),
+					rng.Int63n(3000), rng.Int63n(3000),
+					500 + rng.Int63n(9500),
+				}
+			}
+			if err := ls.InsertBatch(batch); err != nil {
+				panic(err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ex.ExecuteBatch(work)
+			}
+		}
+	}()
+
+	// The monitor: poll /statsz like a dashboard refresh loop.
+	fmt.Printf("%-5s %10s %10s %10s %6s %11s %7s %6s\n",
+		"tick", "queries", "qry p50", "qry p99", "queue", "ingest p99", "merges", "epoch")
+	client := &http.Client{Timeout: 2 * time.Second}
+	for tick := 1; tick <= 5; tick++ {
+		time.Sleep(400 * time.Millisecond)
+		resp, err := client.Get(base + "/statsz")
+		if err != nil {
+			panic(err)
+		}
+		var s statsz
+		err = json.NewDecoder(resp.Body).Decode(&s)
+		resp.Body.Close()
+		if err != nil {
+			panic(err)
+		}
+		lat := s.Hists["tsunami_query_latency_seconds"]
+		fmt.Printf("%-5d %10d %10s %10s %6.0f %11s %7d %6.0f\n",
+			tick, lat.Count,
+			fmtSec(lat.P50), fmtSec(lat.P99),
+			s.Gauges["tsunami_exec_queue_depth"],
+			fmtSec(s.Hists["tsunami_live_ingest_latency_seconds"].P99),
+			s.Counters["tsunami_live_merges_total"],
+			s.Gauges["tsunami_live_epoch"])
 	}
-	rep := det.Analyze()
-	fmt.Printf("phase 2: audit latency on stale layout %v; detector: novel=%.0f%% drift=%.2f shift=%v\n",
-		avg(idx, audits[:100]), 100*rep.NovelFrac, rep.FreqDrift, rep.ShiftDetected)
+	close(stop)
+	wg.Wait()
 
-	// Phase 3: re-optimize for the drifted workload.
-	if rep.ShiftDetected {
-		reopt, secs := idx.Reoptimize(audits)
-		fmt.Printf("phase 3: re-optimized in %.2fs; audit latency now %v\n",
-			secs, avg(reopt, audits[:100]))
+	// Show the raw exposition surface too: the lines a Prometheus scraper
+	// would store for the merge/backlog families the dashboard rendered.
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		panic(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nraw /metrics exposition (merge + buffered-rows families):")
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.Contains(line, "tsunami_live_merges") || strings.Contains(line, "tsunami_live_buffered_rows") {
+			fmt.Println("  " + line)
+		}
 	}
 }
 
-func avg(idx tsunami.Index, qs []tsunami.Query) time.Duration {
-	for _, q := range qs {
-		idx.Execute(q)
-	}
-	start := time.Now()
-	for _, q := range qs {
-		idx.Execute(q)
-	}
-	return time.Since(start) / time.Duration(len(qs))
+func fmtSec(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).Round(time.Microsecond).String()
 }

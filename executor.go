@@ -3,8 +3,10 @@ package tsunami
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/colstore"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -47,6 +49,35 @@ type ExecutorOptions struct {
 	// work (and the cache footprint of its result writes) stays bounded
 	// by the pool, not the batch (default 8*Workers, minimum Workers).
 	MaxWave int
+	// Metrics, when non-nil, records pool telemetry into the registry:
+	// queue wait and depth, per-query execution latency, wave sizes, and
+	// tasks executed (tsunami_exec_* metric names). Nil leaves the hot
+	// path exactly as uninstrumented — submitted tasks are not even
+	// wrapped.
+	Metrics *obs.Registry
+}
+
+// execMetrics caches the Executor's resolved instruments so the record
+// path never touches the registry.
+type execMetrics struct {
+	queueWait  *obs.Histogram
+	queueDepth *obs.Gauge
+	latency    *obs.Histogram
+	waveSize   *obs.Histogram
+	tasks      *obs.Counter
+}
+
+func newExecMetrics(r *obs.Registry) *execMetrics {
+	if r == nil {
+		return nil
+	}
+	return &execMetrics{
+		queueWait:  r.DurationHistogram(obs.MExecQueueWait),
+		queueDepth: r.Gauge(obs.MExecQueueDepth),
+		latency:    r.DurationHistogram(obs.MExecLatency),
+		waveSize:   r.Histogram(obs.MExecWaveSize),
+		tasks:      r.Counter(obs.MExecTasks),
+	}
 }
 
 // Executor serves queries against one shared index from a fixed pool of
@@ -68,12 +99,13 @@ type Executor struct {
 	intra   bool // split single Execute calls when the index supports it
 	workers int
 	maxWave int
+	metrics *execMetrics // nil when instrumentation is off
 
 	// jobs carries closures so one pool serves both granularities: whole
 	// queries (ExecuteBatch) and a single query's region-draining tasks
 	// (intra-query Execute). Jobs never block on other jobs, so sharing
 	// the pool cannot deadlock.
-	jobs chan func()
+	jobs chan execJob
 	wg   sync.WaitGroup
 
 	// mu guards sends against Close: senders hold it shared, Close holds
@@ -113,7 +145,8 @@ func newExecutor(source func() Index, o ExecutorOptions) *Executor {
 		intra:   o.IntraQuery,
 		workers: workers,
 		maxWave: maxWave,
-		jobs:    make(chan func(), 2*workers),
+		metrics: newExecMetrics(o.Metrics),
+		jobs:    make(chan execJob, 2*workers),
 	}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -122,21 +155,44 @@ func newExecutor(source func() Index, o ExecutorOptions) *Executor {
 	return e
 }
 
+// execJob is one unit of pool work. The enqueue timestamp rides in the
+// channel element (set only when metrics are on), so queue-wait
+// instrumentation needs no per-task wrapper closure — the submit path
+// stays allocation-free with metrics enabled.
+type execJob struct {
+	fn       func()
+	enqueued time.Time
+}
+
 func (e *Executor) worker() {
 	defer e.wg.Done()
+	m := e.metrics
 	for job := range e.jobs {
-		job()
+		if m != nil {
+			m.queueDepth.Add(-1)
+			m.queueWait.RecordDuration(time.Since(job.enqueued))
+			m.tasks.Inc()
+		}
+		job.fn()
 	}
 }
 
 // trySubmit schedules a task on the pool, or reports false after Close.
+// The depth increment happens only after the closed check, so a false
+// return can never leak a depth increment (the caller runs the task
+// itself).
 func (e *Executor) trySubmit(task func()) bool {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
 		return false
 	}
-	e.jobs <- task
+	job := execJob{fn: task}
+	if m := e.metrics; m != nil {
+		job.enqueued = time.Now()
+		m.queueDepth.Add(1)
+	}
+	e.jobs <- job
 	return true
 }
 
@@ -155,18 +211,27 @@ func (e *Executor) Execute(q Query) Result {
 		return Result{}
 	}
 	idx := e.source()
-	if e.intra {
-		if p, ok := idx.(intraQueryIndex); ok {
-			// If the pool is closed mid-query the remaining tasks run on
-			// the calling goroutine; the answer is still complete.
-			return p.ExecuteParallelOn(q, e.workers, func(task func()) {
-				if !e.trySubmit(task) {
-					task()
-				}
-			})
-		}
+	m := e.metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
 	}
-	return idx.Execute(q)
+	var res Result
+	if p, ok := idx.(intraQueryIndex); ok && e.intra {
+		// If the pool is closed mid-query the remaining tasks run on
+		// the calling goroutine; the answer is still complete.
+		res = p.ExecuteParallelOn(q, e.workers, func(task func()) {
+			if !e.trySubmit(task) {
+				task()
+			}
+		})
+	} else {
+		res = idx.Execute(q)
+	}
+	if m != nil {
+		m.latency.RecordDuration(time.Since(start))
+	}
+	return res
 }
 
 // ExecuteBatch answers every query, fanning them across the worker pool,
@@ -193,13 +258,23 @@ func (e *Executor) ExecuteBatch(qs []Query) []Result {
 // false if the Executor was closed before the whole wave was scheduled
 // (results for unscheduled queries stay zero).
 func (e *Executor) runWave(qs []Query, out []Result) bool {
+	m := e.metrics
+	if m != nil {
+		m.waveSize.Record(int64(len(qs)))
+	}
 	var done sync.WaitGroup
 	ok := true
 	for i, q := range qs {
 		i, q := i, q
 		done.Add(1)
 		if !e.trySubmit(func() {
-			out[i] = e.source().Execute(q)
+			if m != nil {
+				start := time.Now()
+				out[i] = e.source().Execute(q)
+				m.latency.RecordDuration(time.Since(start))
+			} else {
+				out[i] = e.source().Execute(q)
+			}
 			done.Done()
 		}) {
 			done.Done() // never scheduled

@@ -9,15 +9,21 @@ import (
 	tsunami "repro"
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/workload"
 )
 
-// PoolPoint is batch throughput at one worker count.
+// PoolPoint is batch throughput at one worker count. The latency
+// quantiles come from the executor's per-query histogram
+// (tsunami_exec_latency_seconds), not from dividing wall time by query
+// count, so tail behavior under queueing is visible per point.
 type PoolPoint struct {
 	Workers int     `json:"workers"`
 	QPS     float64 `json:"qps"`
 	Speedup float64 `json:"speedup_vs_1"`
+	P50Us   float64 `json:"p50_us"`
+	P99Us   float64 `json:"p99_us"`
 }
 
 // ConcurrencyResult is the concurrency experiment's machine-readable
@@ -58,13 +64,18 @@ func RunConcurrency(o Options) (*ConcurrencyResult, error) {
 	res := &ConcurrencyResult{Rows: o.Rows, Queries: len(work), ScalingUnreliable: runtime.GOMAXPROCS(0) <= 1}
 	base := 0.0
 	for _, n := range dedupInts([]int{1, 4, runtime.NumCPU()}) {
-		ex := tsunami.NewExecutor(idx, tsunami.ExecutorOptions{Workers: n})
+		m := tsunami.NewMetrics()
+		ex := tsunami.NewExecutor(idx, tsunami.ExecutorOptions{Workers: n, Metrics: m})
 		qps := batchThroughput(ex, work)
 		ex.Close()
 		if base == 0 {
 			base = qps
 		}
-		res.Pool = append(res.Pool, PoolPoint{Workers: n, QPS: qps, Speedup: qps / base})
+		lat := m.Snapshot().Hists[obs.MExecLatency]
+		res.Pool = append(res.Pool, PoolPoint{
+			Workers: n, QPS: qps, Speedup: qps / base,
+			P50Us: lat.Quantile(0.5) * 1e6, P99Us: lat.Quantile(0.99) * 1e6,
+		})
 	}
 
 	// Intra-query parallelism: one query at a time, its work spread across
@@ -95,9 +106,10 @@ func Concurrency(w io.Writer, o Options) {
 		fmt.Fprintf(w, "CORRECTNESS FAILURE: %v\n", err)
 		return
 	}
-	t := newTable("workers", "throughput (q/s)", "speedup vs 1 worker")
+	t := newTable("workers", "throughput (q/s)", "speedup vs 1 worker", "p50", "p99")
 	for _, p := range r.Pool {
-		t.add(fmt.Sprintf("%d", p.Workers), fmt.Sprintf("%.0f", p.QPS), fmt.Sprintf("%.2fx", p.Speedup))
+		t.add(fmt.Sprintf("%d", p.Workers), fmt.Sprintf("%.0f", p.QPS), fmt.Sprintf("%.2fx", p.Speedup),
+			fmt.Sprintf("%.0fµs", p.P50Us), fmt.Sprintf("%.0fµs", p.P99Us))
 	}
 	t.print(w)
 	fmt.Fprintf(w, "intra-query (%d workers, one query at a time): %.0f q/s (%.2fx vs 1 worker)\n",

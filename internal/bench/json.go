@@ -36,8 +36,14 @@ type Report struct {
 		Quick          bool  `json:"quick"`
 	} `json:"options"`
 
+	// ObsOverheadPct is surfaced at the top level (duplicating
+	// experiments.obs.overhead_pct) whenever the obs experiment ran, so
+	// timeline tools can track the instrumentation tax without knowing
+	// the experiment's internal shape. Omitted when obs did not run.
+	ObsOverheadPct *float64 `json:"obs_overhead_pct,omitempty"`
+
 	// Experiments maps experiment id to its typed result struct
-	// (ScanKernelsResult, ConcurrencyResult, ShardedResult).
+	// (ScanKernelsResult, ConcurrencyResult, ShardedResult, ObsResult).
 	Experiments map[string]any `json:"experiments"`
 }
 
@@ -51,6 +57,9 @@ var jsonRunners = map[string]func(Options) (any, error){
 	},
 	"sharded": func(o Options) (any, error) {
 		return RunSharded(o)
+	},
+	"obs": func(o Options) (any, error) {
+		return RunObs(o)
 	},
 }
 
@@ -78,13 +87,16 @@ func RunJSON(w io.Writer, ids []string, o Options) error {
 	for _, id := range ids {
 		run, ok := jsonRunners[id]
 		if !ok {
-			return fmt.Errorf("experiment %q has no JSON reporter (have: scan, concurrency, sharded)", id)
+			return fmt.Errorf("experiment %q has no JSON reporter (have: scan, concurrency, sharded, obs)", id)
 		}
 		res, err := run(o)
 		if err != nil {
 			return fmt.Errorf("experiment %q: %w", id, err)
 		}
 		rep.Experiments[id] = res
+		if or, ok := res.(*ObsResult); ok {
+			rep.ObsOverheadPct = &or.OverheadPct
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

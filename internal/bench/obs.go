@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	tsunami "repro"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/live"
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// ObsResult is the observability-overhead experiment's machine-readable
+// output: the instrumentation tax on the serving hot path, measured as
+// bare-vs-instrumented throughput over the same index.
+type ObsResult struct {
+	Rows    int `json:"rows"`
+	Queries int `json:"queries"`
+	// Pairs is how many bare/instrumented timed pass pairs fed the median.
+	Pairs int `json:"pairs"`
+	// BareQPS / InstrumentedQPS are each side's median-pass throughput.
+	BareQPS         float64 `json:"bare_qps"`
+	InstrumentedQPS float64 `json:"instrumented_qps"`
+	// OverheadPct is the median per-pair slowdown, as a percentage: how
+	// much slower the instrumented path is. Negative values are noise.
+	OverheadPct float64 `json:"overhead_pct"`
+	// P50Us/P99Us are the instrumented run's own latency histogram
+	// (tsunami_query_latency_seconds) — the quantiles the overhead buys.
+	P50Us float64 `json:"p50_us"`
+	P99Us float64 `json:"p99_us"`
+}
+
+// RunObs measures what the metrics layer costs the query hot path: two
+// LiveStores serve the same immutable index — one with a registry, one
+// with nil metrics (whose hot path compiles to the uninstrumented code).
+// The comparison is differential: alternating short timed passes pair a
+// bare reading with an instrumented reading taken milliseconds later, and
+// the overhead is the median per-pair ratio — machine noise (thermal, GC,
+// scheduler, a noisy neighbor) hits both sides of a pair equally and
+// outlier pairs get discarded by the median, where comparing two separate
+// aggregate runs would let noise several times the real overhead decide.
+// CI gates on the benchmark twin of this experiment (BenchmarkObsOverhead)
+// at 2%.
+func RunObs(o Options) (*ObsResult, error) {
+	o = o.fill()
+	ds := datasets.Taxi(o.Rows, o.Seed+1)
+	work := workload.ForDataset(ds, o.QueriesPerType, o.Seed+101)
+	idx := core.Build(ds.Store, work, o.tsunamiConfig(core.FullTsunami))
+	if err := checkCorrect(idx, ds.Store, work); err != nil {
+		return nil, err
+	}
+
+	// No sample workload → no shift detector; huge threshold → no merges.
+	// Nothing runs in the background to steal cycles from either side.
+	quiet := live.Config{MergeThreshold: 1 << 30}
+	bare := live.Open(idx, nil, quiet)
+	defer bare.Close()
+	instrCfg := quiet
+	m := tsunami.NewMetrics()
+	instrCfg.Metrics = m
+	instr := live.Open(idx, nil, instrCfg)
+	defer instr.Close()
+
+	const pairs = 96
+	res := &ObsResult{Rows: o.Rows, Queries: len(work), Pairs: pairs}
+	timedPass(bare, work) // joint warm-up: page in both stores' code and data
+	timedPass(instr, work)
+	ratios := make([]float64, 0, pairs)
+	bareNs := make([]float64, 0, pairs)
+	instrNs := make([]float64, 0, pairs)
+	for r := 0; r < pairs; r++ {
+		bn := timedPass(bare, work)
+		in := timedPass(instr, work)
+		ratios = append(ratios, float64(in)/float64(bn))
+		bareNs = append(bareNs, float64(bn))
+		instrNs = append(instrNs, float64(in))
+	}
+	res.OverheadPct = (median(ratios) - 1) * 100
+	perPass := float64(len(work)) * 1e9
+	res.BareQPS = perPass / median(bareNs)
+	res.InstrumentedQPS = perPass / median(instrNs)
+	lat := m.Snapshot().Hists[obs.MQueryLatency]
+	res.P50Us = lat.Quantile(0.5) * 1e6
+	res.P99Us = lat.Quantile(0.99) * 1e6
+	return res, nil
+}
+
+// Obs prints the observability-overhead experiment.
+func Obs(w io.Writer, o Options) {
+	section(w, "Observability", "metrics overhead on the LiveStore query path")
+	r, err := RunObs(o)
+	if err != nil {
+		fmt.Fprintf(w, "FAILURE: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "bare %.0f q/s vs instrumented %.0f q/s: overhead %.2f%% (median of %d pairs; instrumented p50 %.0fµs, p99 %.0fµs)\n",
+		r.BareQPS, r.InstrumentedQPS, r.OverheadPct, r.Pairs, r.P50Us, r.P99Us)
+}
+
+// timedPass runs the workload through a LiveStore once and reports the
+// wall time — one side of one differential pair.
+func timedPass(s *live.Store, qs []query.Query) time.Duration {
+	start := time.Now()
+	for _, q := range qs {
+		s.Execute(q)
+	}
+	return time.Since(start)
+}
+
+// median of a sample set; the input slice is reordered.
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 0 {
+		return (vals[n/2-1] + vals[n/2]) / 2
+	}
+	return vals[n/2]
+}

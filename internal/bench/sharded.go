@@ -12,15 +12,21 @@ import (
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/sharded"
 	"repro/internal/workload"
 )
 
-// IngestPoint is ingest throughput at one shard count.
+// IngestPoint is ingest throughput at one shard count. IngestP99Us is
+// the tail of the per-batch publish latency histogram
+// (tsunami_live_ingest_latency_seconds summed over shards): the figure
+// that shows the serialized copy-on-write section shrinking as shards
+// split it, even when GOMAXPROCS hides it from the throughput column.
 type IngestPoint struct {
-	Shards  int     `json:"shards"`
-	RowsPS  float64 `json:"rows_per_s"`
-	Speedup float64 `json:"speedup_vs_1"`
+	Shards      int     `json:"shards"`
+	RowsPS      float64 `json:"rows_per_s"`
+	Speedup     float64 `json:"speedup_vs_1"`
+	IngestP99Us float64 `json:"ingest_p99_us"`
 }
 
 // ShardedResult is the sharded experiment's machine-readable output.
@@ -37,8 +43,12 @@ type ShardedResult struct {
 	ReadShards        int           `json:"read_shards"`
 	ReadWorkers       int           `json:"read_workers"`
 	ReadQPS           float64       `json:"scatter_gather_qps"`
-	MeanFanout        float64       `json:"mean_fanout_shards"`
-	PrunedFrac        float64       `json:"pruned_frac"`
+	// ReadP50Us/ReadP99Us are end-to-end scatter-gather latency quantiles
+	// from tsunami_sharded_query_latency_seconds.
+	ReadP50Us  float64 `json:"read_p50_us"`
+	ReadP99Us  float64 `json:"read_p99_us"`
+	MeanFanout float64 `json:"mean_fanout_shards"`
+	PrunedFrac float64 `json:"pruned_frac"`
 }
 
 // RunSharded measures the ShardedStore's two claims on the taxi dataset:
@@ -63,9 +73,11 @@ func RunSharded(o Options) (*ShardedResult, error) {
 	res := &ShardedResult{Rows: o.Rows, Writers: writers, ScalingUnreliable: runtime.GOMAXPROCS(0) <= 1}
 	base := 0.0
 	for _, n := range dedupInts([]int{1, 2, 4, runtime.NumCPU()}) {
+		m := tsunami.NewMetrics()
 		st, err := sharded.Open(ds.Store, work, o.tsunamiConfig(core.FullTsunami), sharded.Config{
 			Shards:  n,
 			Learned: true,
+			Metrics: m,
 			Live:    live.Config{MergeThreshold: 1 << 30},
 		})
 		if err != nil {
@@ -76,12 +88,17 @@ func RunSharded(o Options) (*ShardedResult, error) {
 		if base == 0 {
 			base = rps
 		}
-		res.Ingest = append(res.Ingest, IngestPoint{Shards: n, RowsPS: rps, Speedup: rps / base})
+		lat := m.Snapshot().Hists[obs.MLiveIngestLatency]
+		res.Ingest = append(res.Ingest, IngestPoint{
+			Shards: n, RowsPS: rps, Speedup: rps / base,
+			IngestP99Us: lat.Quantile(0.99) * 1e6,
+		})
 	}
 
 	// Scatter-gather reads: the full workload through an Executor over a
 	// 4-shard store, with the router pruning shards per query.
-	st, err := sharded.Open(ds.Store, work, o.tsunamiConfig(core.FullTsunami), sharded.Config{Shards: 4, Learned: true})
+	m := tsunami.NewMetrics()
+	st, err := sharded.Open(ds.Store, work, o.tsunamiConfig(core.FullTsunami), sharded.Config{Shards: 4, Learned: true, Metrics: m})
 	if err != nil {
 		return nil, fmt.Errorf("build failure: %w", err)
 	}
@@ -89,13 +106,19 @@ func RunSharded(o Options) (*ShardedResult, error) {
 	if err := checkCorrect(st, ds.Store, work); err != nil {
 		return nil, err
 	}
+	// Anchor a snapshot after the correctness pass so the read quantiles
+	// cover only the measured throughput window.
+	pre := m.Snapshot()
 	ex := tsunami.NewExecutorSource(st, tsunami.ExecutorOptions{Workers: runtime.NumCPU()})
 	qps := batchThroughput(ex, work)
 	ex.Close()
+	lat := m.Snapshot().Diff(pre).Hists[obs.MShardedQueryLatency]
 	s := st.Stats()
 	res.ReadShards = 4
 	res.ReadWorkers = runtime.NumCPU()
 	res.ReadQPS = qps
+	res.ReadP50Us = lat.Quantile(0.5) * 1e6
+	res.ReadP99Us = lat.Quantile(0.99) * 1e6
 	res.MeanFanout = float64(s.ShardsScanned) / float64(s.Queries)
 	res.PrunedFrac = float64(s.ShardsPruned) / float64(s.ShardsScanned+s.ShardsPruned)
 	return res, nil
@@ -109,13 +132,14 @@ func Sharded(w io.Writer, o Options) {
 		fmt.Fprintf(w, "FAILURE: %v\n", err)
 		return
 	}
-	t := newTable("shards", "ingest (rows/s)", "speedup vs 1 shard")
+	t := newTable("shards", "ingest (rows/s)", "speedup vs 1 shard", "batch p99")
 	for _, p := range r.Ingest {
-		t.add(fmt.Sprintf("%d", p.Shards), fmt.Sprintf("%.0f", p.RowsPS), fmt.Sprintf("%.2fx", p.Speedup))
+		t.add(fmt.Sprintf("%d", p.Shards), fmt.Sprintf("%.0f", p.RowsPS), fmt.Sprintf("%.2fx", p.Speedup),
+			fmt.Sprintf("%.0fµs", p.IngestP99Us))
 	}
 	t.print(w)
-	fmt.Fprintf(w, "scatter-gather (%d shards, %d workers): %.0f q/s, mean fan-out %.2f shards (%.0f%% of shard scans pruned)\n",
-		r.ReadShards, r.ReadWorkers, r.ReadQPS, r.MeanFanout, 100*r.PrunedFrac)
+	fmt.Fprintf(w, "scatter-gather (%d shards, %d workers): %.0f q/s (p50 %.0fµs, p99 %.0fµs), mean fan-out %.2f shards (%.0f%% of shard scans pruned)\n",
+		r.ReadShards, r.ReadWorkers, r.ReadQPS, r.ReadP50Us, r.ReadP99Us, r.MeanFanout, 100*r.PrunedFrac)
 	if r.ScalingUnreliable {
 		fmt.Fprintf(w, "NOTE: GOMAXPROCS=1 — shard-scaling numbers cannot support scaling claims\n")
 	}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// ExecuteTrace answers q exactly like Execute while recording an
+// explain-analyze trace: how long the Grid Tree routing took, how long
+// the routed region scans took, and how long folding the buffered
+// deltas took. The result is identical to Execute's — tracing wraps the
+// same sequential path with timestamps, it never changes the plan.
+// Unlike Explain (which re-plans per region without executing),
+// ExecuteTrace measures a real execution.
+func (t *Tsunami) ExecuteTrace(q query.Query) (colstore.ScanResult, *obs.QueryTrace) {
+	tr := &obs.QueryTrace{Query: q.String()}
+	total := time.Now()
+	ctx := execCtxPool.Get().(*execContext)
+	defer execCtxPool.Put(ctx)
+
+	start := time.Now()
+	ctx.regions = t.tree.FindRegions(q, ctx.regions[:0])
+	tr.AddStage("plan", time.Since(start),
+		fmt.Sprintf("%d of %d regions routed", len(ctx.regions), len(t.tree.Regions)))
+
+	var res colstore.ScanResult
+	start = time.Now()
+	for _, r := range ctx.regions {
+		t.executeRegion(q, r, ctx.grid, &res)
+	}
+	tr.AddStage("scan", time.Since(start), "")
+
+	start = time.Now()
+	t.scanDeltas(q, ctx.regions, &res)
+	tr.AddStage("delta", time.Since(start),
+		fmt.Sprintf("%d buffered rows visible", t.numBuffered))
+
+	tr.Total = time.Since(total)
+	tr.Rows = res.PointsScanned
+	tr.Bytes = res.BytesTouched
+	tr.Regions = len(ctx.regions)
+	return res, tr
+}

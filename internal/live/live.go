@@ -37,6 +37,7 @@ import (
 	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/shift"
 )
@@ -79,6 +80,20 @@ type Config struct {
 	// Invocations are serialized, so the callback needs no locking of its
 	// own. It must not call back into the Store (except Stats).
 	OnEvent func(Event)
+	// Metrics, when non-nil, records the store's telemetry into the
+	// registry: the shared query-path metrics (tsunami_query_latency_
+	// seconds, rows/bytes scanned) plus ingest latency, merge/reoptimize/
+	// snapshot durations, detector fires, and buffered-rows/epoch gauges
+	// (tsunami_live_*). Shard stores sharing one registry share the
+	// counter and histogram instances, so cross-shard aggregation happens
+	// by construction. Nil disables instrumentation with zero hot-path
+	// cost.
+	Metrics *obs.Registry
+	// MetricsLabel, when non-empty, is appended to this store's gauge
+	// names (e.g. `{shard="3"}`) so per-shard levels stay distinguishable
+	// on a shared registry. Counters and histograms are never labeled —
+	// sharing those instances is what makes shard metrics aggregate.
+	MetricsLabel string
 }
 
 func (c *Config) fill() {
@@ -142,6 +157,48 @@ type Event struct {
 // errClosed reports writes or maintenance requested after Close.
 var errClosed = errors.New("live: store is closed")
 
+// liveMetrics caches the store's resolved instruments so the query and
+// ingest paths never touch the registry.
+type liveMetrics struct {
+	qm            *obs.QueryMetrics
+	ingestLatency *obs.Histogram
+	ingestRows    *obs.Counter
+	merges        *obs.Counter
+	mergeSeconds  *obs.Histogram
+	reopts        *obs.Counter
+	reoptSeconds  *obs.Histogram
+	snaps         *obs.Counter
+	snapSeconds   *obs.Histogram
+	detectorFires *obs.Counter
+}
+
+func newLiveMetrics(s *Store, r *obs.Registry, label string) *liveMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &liveMetrics{
+		qm:            obs.NewQueryMetrics(r),
+		ingestLatency: r.DurationHistogram(obs.MLiveIngestLatency),
+		ingestRows:    r.Counter(obs.MLiveIngestRows),
+		merges:        r.Counter(obs.MLiveMerges),
+		mergeSeconds:  r.DurationHistogram(obs.MLiveMergeSeconds),
+		reopts:        r.Counter(obs.MLiveReoptimizes),
+		reoptSeconds:  r.DurationHistogram(obs.MLiveReoptSeconds),
+		snaps:         r.Counter(obs.MLiveSnapshots),
+		snapSeconds:   r.DurationHistogram(obs.MLiveSnapSeconds),
+		detectorFires: r.Counter(obs.MLiveDetectorFires),
+	}
+	// Level gauges read the current epoch at scrape time instead of being
+	// pushed on every swap; labeled per shard when stores share a registry.
+	r.GaugeFunc(obs.MLiveBufferedRows+label, func() float64 {
+		return float64(s.cur.Load().idx.NumBuffered())
+	})
+	r.GaugeFunc(obs.MLiveEpoch+label, func() float64 {
+		return float64(s.cur.Load().epoch)
+	})
+	return m
+}
+
 // version is one published epoch: an immutable index plus how much of the
 // store's replay log its delta buffers already reflect.
 type version struct {
@@ -198,6 +255,8 @@ type Store struct {
 	recentN   int
 	observed  int // queries observed since the detector was (re)built
 
+	metrics *liveMetrics // nil when instrumentation is off
+
 	queries       atomic.Uint64
 	inserts       atomic.Uint64
 	merges        atomic.Uint64
@@ -225,6 +284,7 @@ func Open(idx *core.Tsunami, optimized []query.Query, cfg Config) *Store {
 	// for them exactly like rows ingested through the Store.
 	s.log = idx.BufferedRows()
 	s.cur.Store(&version{idx: idx, epoch: 1, logLen: len(s.log)})
+	s.metrics = newLiveMetrics(s, cfg.Metrics, cfg.MetricsLabel)
 	if len(optimized) > 0 && !cfg.DisableShift {
 		s.detector = shift.NewDetector(idx.Store(), optimized, cfg.Shift)
 		s.detectorTypes.Store(int64(s.detector.NumTypes()))
@@ -265,6 +325,12 @@ func (s *Store) Execute(q query.Query) colstore.ScanResult {
 	v := s.cur.Load()
 	s.queries.Add(1)
 	s.observeAsync(q)
+	if m := s.metrics; m != nil {
+		start := time.Now()
+		res := v.idx.Execute(q)
+		m.qm.Observe(time.Since(start), res.PointsScanned, res.BytesTouched)
+		return res
+	}
 	return v.idx.Execute(q)
 }
 
@@ -275,6 +341,12 @@ func (s *Store) ExecuteParallelOn(q query.Query, workers int, submit func(task f
 	v := s.cur.Load()
 	s.queries.Add(1)
 	s.observeAsync(q)
+	if m := s.metrics; m != nil {
+		start := time.Now()
+		res := v.idx.ExecuteParallelOn(q, workers, submit)
+		m.qm.Observe(time.Since(start), res.PointsScanned, res.BytesTouched)
+		return res
+	}
 	return v.idx.ExecuteParallelOn(q, workers, submit)
 }
 
@@ -322,6 +394,10 @@ func (s *Store) InsertBatch(rows [][]int64) error {
 	if len(rows) == 0 {
 		return nil
 	}
+	var start time.Time
+	if s.metrics != nil {
+		start = time.Now()
+	}
 	// One defensive copy per row, shared by the index's delta buffers and
 	// the replay log (both treat rows as immutable once ingested).
 	copied := make([][]int64, len(rows))
@@ -345,6 +421,10 @@ func (s *Store) InsertBatch(rows [][]int64) error {
 	s.mu.Unlock()
 
 	s.inserts.Add(uint64(len(rows)))
+	if m := s.metrics; m != nil {
+		m.ingestLatency.RecordDuration(time.Since(start))
+		m.ingestRows.Add(uint64(len(rows)))
+	}
 	if buffered >= s.cfg.MergeThreshold {
 		select {
 		case s.wake <- struct{}{}:
@@ -483,6 +563,9 @@ func (s *Store) observe(q query.Query) {
 		return
 	}
 	if rep := s.detector.Analyze(); rep.ShiftDetected {
+		if m := s.metrics; m != nil {
+			m.detectorFires.Inc()
+		}
 		s.runReoptimize()
 	}
 }
@@ -563,6 +646,10 @@ func (s *Store) mergeLocked(minPerRegion int) error {
 	s.mu.Unlock()
 
 	s.merges.Add(1)
+	if m := s.metrics; m != nil {
+		m.merges.Inc()
+		m.mergeSeconds.RecordDuration(time.Since(start))
+	}
 	s.emit(Event{Kind: EventMerge, Epoch: epoch, MergedRows: folded, Seconds: time.Since(start).Seconds()})
 	return nil
 }
@@ -607,6 +694,10 @@ func (s *Store) runReoptimize() {
 	s.maintMu.Unlock()
 
 	s.reopts.Add(1)
+	if m := s.metrics; m != nil {
+		m.reopts.Inc()
+		m.reoptSeconds.RecordDuration(time.Since(start))
+	}
 	// Re-fingerprint on the workload we just optimized for, over the new
 	// clustered store, and restart the window: drift is now measured
 	// against the post-shift baseline.
@@ -664,6 +755,10 @@ func (s *Store) snapshotLocked() error {
 		return fmt.Errorf("live: snapshot: %w", err)
 	}
 	s.snapshots.Add(1)
+	if m := s.metrics; m != nil {
+		m.snaps.Inc()
+		m.snapSeconds.RecordDuration(time.Since(start))
+	}
 	s.emit(Event{Kind: EventSnapshot, Seconds: time.Since(start).Seconds()})
 	return nil
 }

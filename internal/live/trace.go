@@ -1,0 +1,32 @@
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// ExecuteTrace answers q exactly like Execute while recording an
+// explain-analyze trace of the underlying index execution, prefixed with
+// the epoch the query was served against. Query accounting (Stats
+// counters, shift-detector feed, registry metrics) is identical to
+// Execute, so traced queries do not skew the aggregates they are
+// debugging.
+func (s *Store) ExecuteTrace(q query.Query) (colstore.ScanResult, *obs.QueryTrace) {
+	v := s.cur.Load()
+	s.queries.Add(1)
+	s.observeAsync(q)
+	start := time.Now()
+	res, tr := v.idx.ExecuteTrace(q)
+	if m := s.metrics; m != nil {
+		m.qm.Observe(time.Since(start), res.PointsScanned, res.BytesTouched)
+	}
+	tr.Stages = append([]obs.TraceStage{{
+		Name:   "epoch",
+		Detail: fmt.Sprintf("serving epoch %d (%d buffered rows)", v.epoch, v.idx.NumBuffered()),
+	}}, tr.Stages...)
+	return res, tr
+}

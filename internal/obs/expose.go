@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative le-bucketed *_bucket series plus _sum and
+// _count. Metric families are emitted in sorted name order so scrapes
+// diff cleanly; labeled series ({shard="3"}) sort within their family.
+func WritePrometheus(w io.Writer, snap Snapshot) {
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	lastFamily := ""
+	for _, n := range names {
+		if fam := familyOf(n); fam != lastFamily {
+			fmt.Fprintf(w, "# TYPE %s counter\n", fam)
+			lastFamily = fam
+		}
+		fmt.Fprintf(w, "%s %d\n", n, snap.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	lastFamily = ""
+	for _, n := range names {
+		if fam := familyOf(n); fam != lastFamily {
+			fmt.Fprintf(w, "# TYPE %s gauge\n", fam)
+			lastFamily = fam
+		}
+		fmt.Fprintf(w, "%s %g\n", n, snap.Gauges[n])
+	}
+
+	names = names[:0]
+	for n := range snap.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Hists[n]
+		fam := familyOf(n)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
+		var cum uint64
+		for b, c := range h.Buckets {
+			if c == 0 {
+				continue // empty buckets add nothing cumulative scrapers need
+			}
+			cum += c
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, formatLe(float64(bucketMax(b))*h.scaleOr1()), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", n, float64(h.Sum)*h.scaleOr1())
+		fmt.Fprintf(w, "%s_count %d\n", n, cum)
+	}
+}
+
+// familyOf strips a label suffix ({shard="3"}) from a metric name,
+// yielding the family name TYPE lines are declared for.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// formatLe prints a bucket bound compactly: integers without a decimal
+// point, fractional bounds with enough precision to stay distinct.
+func formatLe(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.9g", v)
+}
+
+// StatszHist is one histogram in the /statsz JSON view.
+type StatszHist struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// Statsz is the JSON document served at /statsz: every counter and
+// gauge verbatim, every histogram reduced to its headline quantiles.
+type Statsz struct {
+	Counters   map[string]uint64     `json:"counters"`
+	Gauges     map[string]float64    `json:"gauges"`
+	Histograms map[string]StatszHist `json:"histograms"`
+}
+
+// ToStatsz reduces a snapshot to the /statsz JSON shape.
+func ToStatsz(snap Snapshot) Statsz {
+	out := Statsz{
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Histograms: make(map[string]StatszHist, len(snap.Hists)),
+	}
+	for n, h := range snap.Hists {
+		out.Histograms[n] = StatszHist{
+			Count: h.Count(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+			P999:  h.Quantile(0.999),
+		}
+	}
+	return out
+}
+
+// WriteStatsz renders the snapshot as indented JSON.
+func WriteStatsz(w io.Writer, snap Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToStatsz(snap))
+}

@@ -185,6 +185,9 @@ func (s *Store) Rebalance() (err error) {
 		// Stats must agree with the published generation.
 		moved += n
 		s.rowsMigrated.Add(uint64(n))
+		if m := s.metrics; m != nil {
+			m.rowsMigrated.Add(uint64(n))
+		}
 		if err != nil {
 			// The partitioner is at a consistent intermediate state: every
 			// completed move published an exact placement. Report and stop.
@@ -192,6 +195,9 @@ func (s *Store) Rebalance() (err error) {
 		}
 	}
 	s.rebalances.Add(1)
+	if m := s.metrics; m != nil {
+		m.rebalances.Inc()
+	}
 	s.emit(Event{Shard: -1, Event: live.Event{
 		Kind:       live.EventRebalance,
 		Epoch:      s.topo.Load().gen,
@@ -269,6 +275,7 @@ func (s *Store) moveCut(i int, c int64) (int, error) {
 		lo, hi = old, c-1
 	}
 	next := rp.WithCut(i, c)
+	phaseStart := time.Now()
 
 	// Phase 1 — prepare, concurrent with reads, writes, and other shards'
 	// maintenance. Both migrating shards' own maintenance pauses so their
@@ -291,6 +298,11 @@ func (s *Store) moveCut(i int, c int64) (int, error) {
 			return 0, err
 		}
 		s.hook("pending")
+	}
+
+	if m := s.metrics; m != nil {
+		m.prepareSeconds.RecordDuration(time.Since(phaseStart))
+		phaseStart = time.Now()
 	}
 
 	// Phase 2 — commit: the only exclusive window. Writers wait on the
@@ -319,6 +331,10 @@ func (s *Store) moveCut(i int, c int64) (int, error) {
 	}
 	s.migrating.Add(1) // even: stable again
 	s.mu.Unlock()
+	if m := s.metrics; m != nil {
+		m.commitSeconds.RecordDuration(time.Since(phaseStart))
+		phaseStart = time.Now()
+	}
 	if err != nil {
 		return 0, fmt.Errorf("move cut %d (%d→%d): %w", i, old, c, err)
 	}
@@ -337,7 +353,11 @@ func (s *Store) moveCut(i int, c int64) (int, error) {
 	// the source's later loop snapshots succeeding on a disk where these
 	// writes did not.
 	if s.snapshotDir != "" {
-		if err := s.persistMove(src, dst, next, top.gen+1); err != nil {
+		err := s.persistMove(src, dst, next, top.gen+1)
+		if m := s.metrics; m != nil {
+			m.persistSeconds.RecordDuration(time.Since(phaseStart))
+		}
+		if err != nil {
 			return len(moved), err
 		}
 	}

@@ -51,6 +51,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -88,6 +89,48 @@ type Config struct {
 	// tagged with the shard id. Invocations are serialized across shards.
 	// It overrides Live.OnEvent.
 	OnEvent func(Event)
+	// Metrics, when non-nil, records router and rebalancer telemetry
+	// (tsunami_sharded_*) and is forwarded to every shard's LiveStore, so
+	// one registry carries the whole store: the shards share the unlabeled
+	// query-path counter/histogram instances (aggregating across shards by
+	// construction) and keep per-shard levels apart via {shard="i"}-labeled
+	// gauges. It overrides Live.Metrics.
+	Metrics *obs.Registry
+}
+
+// shardedMetrics caches the router's resolved instruments.
+type shardedMetrics struct {
+	latency        *obs.Histogram // end-to-end scatter-gather, incl. seqlock retries
+	fanout         *obs.Histogram
+	scanned        *obs.Counter
+	pruned         *obs.Counter
+	rebalances     *obs.Counter
+	rowsMigrated   *obs.Counter
+	prepareSeconds *obs.Histogram
+	commitSeconds  *obs.Histogram
+	persistSeconds *obs.Histogram
+}
+
+func newShardedMetrics(s *Store, r *obs.Registry) *shardedMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &shardedMetrics{
+		latency:        r.DurationHistogram(obs.MShardedQueryLatency),
+		fanout:         r.Histogram(obs.MShardedFanout),
+		scanned:        r.Counter(obs.MShardedShardsScanned),
+		pruned:         r.Counter(obs.MShardedShardsPruned),
+		rebalances:     r.Counter(obs.MShardedRebalances),
+		rowsMigrated:   r.Counter(obs.MShardedRowsMigrated),
+		prepareSeconds: r.DurationHistogram(obs.MShardedPrepareSeconds),
+		commitSeconds:  r.DurationHistogram(obs.MShardedCommitSeconds),
+		persistSeconds: r.DurationHistogram(obs.MShardedPersistSeconds),
+	}
+	r.GaugeFunc(obs.MShardedSkew, func() float64 {
+		skew, _ := s.Skew()
+		return skew
+	})
+	return m
 }
 
 func (c *Config) fill() {
@@ -167,6 +210,7 @@ type Store struct {
 
 	snapshotDir string
 	onEvent     func(Event)
+	metrics     *shardedMetrics // nil when instrumentation is off
 
 	emitMu sync.Mutex // serializes OnEvent across shards
 
@@ -306,9 +350,14 @@ func openShards(parts Partitioner, idxs []*core.Tsunami, workload []query.Query,
 		onEvent:     cfg.OnEvent,
 	}
 	s.topo.Store(&topology{parts: parts, gen: gen})
+	s.metrics = newShardedMetrics(s, cfg.Metrics)
 	s.shards = make([]*live.Store, len(idxs))
 	for i, idx := range idxs {
 		lc := cfg.Live
+		if cfg.Metrics != nil {
+			lc.Metrics = cfg.Metrics
+			lc.MetricsLabel = fmt.Sprintf(`{shard="%d"}`, i)
+		}
 		if cfg.SnapshotDir != "" {
 			lc.SnapshotPath = shardFile(cfg.SnapshotDir, i)
 		}
@@ -391,6 +440,11 @@ func (s *Store) countRoute(scanned int) {
 	s.queries.Add(1)
 	s.shardsScanned.Add(uint64(scanned))
 	s.shardsPruned.Add(uint64(len(s.shards) - scanned))
+	if m := s.metrics; m != nil {
+		m.fanout.Record(int64(scanned))
+		m.scanned.Add(uint64(scanned))
+		m.pruned.Add(uint64(len(s.shards) - scanned))
+	}
 }
 
 // readStable runs fn against a stable topology, seqlock-style: if a
@@ -401,6 +455,11 @@ func (s *Store) countRoute(scanned int) {
 // many shards it scanned through scanned; pruning counters are updated
 // only for the attempt whose result is returned.
 func (s *Store) readStable(fn func(top *topology, scanned *int) colstore.ScanResult) colstore.ScanResult {
+	m := s.metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	for attempt := 0; ; attempt++ {
 		g := s.migrating.Load()
 		if g&1 == 0 {
@@ -408,6 +467,11 @@ func (s *Store) readStable(fn func(top *topology, scanned *int) colstore.ScanRes
 			res := fn(s.topo.Load(), &scanned)
 			if s.migrating.Load() == g {
 				s.countRoute(scanned)
+				if m != nil {
+					// End-to-end scatter-gather latency, retries included —
+					// this is the p99 a client of the sharded store sees.
+					m.latency.RecordDuration(time.Since(start))
+				}
 				return res
 			}
 		}

@@ -1,0 +1,66 @@
+package sharded
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// ExecuteTrace answers q exactly like Execute while recording an
+// explain-analyze trace: the router's pruning decision, a per-shard span
+// (duration, rows/bytes scanned, regions routed) for every surviving
+// shard, and the gather-merge cost. Shards execute sequentially on the
+// calling goroutine — like Execute, and deliberately so: sequential
+// spans attribute time to shards exactly, which is the point of a trace.
+// Consistency matches Execute: the whole attempt retries if a migration
+// commit window overlaps it (the trace is rebuilt from scratch on retry,
+// so spans from a discarded attempt never leak into the result).
+func (s *Store) ExecuteTrace(q query.Query) (colstore.ScanResult, *obs.QueryTrace) {
+	tr := &obs.QueryTrace{Query: q.String()}
+	total := time.Now()
+	res := s.readStable(func(top *topology, scanned *int) colstore.ScanResult {
+		// A seqlock retry discards the attempt; start the trace over.
+		tr.Stages = tr.Stages[:0]
+		tr.Shards = tr.Shards[:0]
+		tr.Regions = 0
+
+		start := time.Now()
+		ids := top.parts.Shards(q, make([]int, 0, len(s.shards)))
+		*scanned = len(ids)
+		tr.AddStage("route", time.Since(start),
+			fmt.Sprintf("%d of %d shards survive pruning (gen %d)", len(ids), len(s.shards), top.gen))
+
+		start = time.Now()
+		partials := make([]colstore.ScanResult, 0, len(ids))
+		for _, id := range ids {
+			shStart := time.Now()
+			sub, shTr := s.shards[id].ExecuteTrace(q)
+			partials = append(partials, sub)
+			tr.Shards = append(tr.Shards, obs.ShardSpan{
+				Shard:    id,
+				Duration: time.Since(shStart),
+				Rows:     sub.PointsScanned,
+				Bytes:    sub.BytesTouched,
+				Regions:  shTr.Regions,
+			})
+			tr.Regions += shTr.Regions
+		}
+		tr.AddStage("scan", time.Since(start), "")
+
+		start = time.Now()
+		var res colstore.ScanResult
+		for _, p := range partials {
+			res.Add(p)
+		}
+		tr.AddStage("merge", time.Since(start),
+			fmt.Sprintf("%d partial aggregates", len(partials)))
+		return res
+	})
+	tr.Total = time.Since(total)
+	tr.Rows = res.PointsScanned
+	tr.Bytes = res.BytesTouched
+	return res, tr
+}
