@@ -59,6 +59,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -82,6 +83,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/sharded"
 	"repro/internal/workload"
+	"repro/internal/wstats"
 )
 
 // session is the shell's target: a plain offline index, the same index
@@ -96,6 +98,11 @@ type session struct {
 	// here through qm so `stats` reads one schema regardless of mode.
 	metrics *obs.Registry
 	qm      *obs.QueryMetrics
+
+	// wl is the workload-statistics collector behind `topq`, `slowlog`,
+	// the stats workload lines, and /workloadz. The live and sharded
+	// stores record into it themselves; plain mode records here.
+	wl *wstats.Collector
 
 	// lastSnap/lastStats anchor the rates (q/s, Mrows/s, GB/s) the
 	// `stats` command prints for the interval since its previous run.
@@ -126,7 +133,9 @@ func (s *session) execute(q query.Query) colstore.ScanResult {
 	}
 	start := time.Now()
 	res := s.idx.Execute(q)
-	s.qm.Observe(time.Since(start), res.PointsScanned, res.BytesTouched)
+	d := time.Since(start)
+	s.qm.Observe(d, res.PointsScanned, res.BytesTouched)
+	s.wl.Record(q, d, res.Count, res.PointsScanned, res.BytesTouched)
 	return res
 }
 
@@ -141,7 +150,9 @@ func (s *session) executeTrace(q query.Query) (colstore.ScanResult, *obs.QueryTr
 	}
 	start := time.Now()
 	res, tr := s.idx.ExecuteTrace(q)
-	s.qm.Observe(time.Since(start), res.PointsScanned, res.BytesTouched)
+	d := time.Since(start)
+	s.qm.Observe(d, res.PointsScanned, res.BytesTouched)
+	s.wl.Record(q, d, res.Count, res.PointsScanned, res.BytesTouched)
 	return res, tr
 }
 
@@ -201,13 +212,17 @@ func main() {
 
 	// One registry serves every mode: the live/sharded stores instrument
 	// themselves through it, plain mode wraps index execution below, and
-	// -metrics exposes it over HTTP.
+	// -metrics exposes it over HTTP. The workload collector rides along
+	// the same way — the serving layer records into it per query, and
+	// `topq`, `slowlog`, `stats`, and /workloadz read it back.
 	reg := obs.NewRegistry()
+	wl := wstats.New(wstats.Config{})
 
 	liveCfg := live.Config{
 		MergeThreshold:       *mergeAt,
 		RegionMergeThreshold: *regionAt,
 		Metrics:              reg,
+		Workload:             wl,
 	}
 	if *rebEvery > 0 && (*shards == 0 || *partition == "hash") {
 		fatal(fmt.Errorf("-rebalance-every needs -shards with -partition range"))
@@ -217,6 +232,7 @@ func main() {
 		Dim:         *partDim,
 		Learned:     *partition != "hash",
 		Metrics:     reg,
+		Workload:    wl,
 		Live:        liveCfg,
 		SnapshotDir: *snapDir,
 		OnEvent:     printShardEvent,
@@ -232,6 +248,7 @@ func main() {
 	s := &session{
 		metrics:   reg,
 		qm:        obs.NewQueryMetrics(reg),
+		wl:        wl,
 		lastStats: time.Now(),
 		shutdown:  func() {},
 	}
@@ -301,46 +318,88 @@ func main() {
 			*mergeAt, s.live.Stats().DetectorTypes > 0)
 	}
 
+	// Plain offline mode: the serving layers bind the collector inside
+	// their Open paths; here the session records manually, so bind the
+	// table directly (slow-query exemplars trace through the core index,
+	// which records nothing, so a capture cannot re-enter the collector).
+	if s.idx != nil {
+		idx := s.idx
+		st := idx.Store()
+		lo := make([]int64, st.NumDims())
+		hi := make([]int64, st.NumDims())
+		for d := range lo {
+			lo[d], hi[d] = st.MinMax(d)
+		}
+		wl.Bind(wstats.Binding{
+			DimNames: st.Names(),
+			DomainLo: lo,
+			DomainHi: hi,
+			Rows:     func() uint64 { return uint64(idx.Store().NumRows() + idx.NumBuffered()) },
+			Trace: func(q query.Query) *obs.QueryTrace {
+				_, tr := idx.ExecuteTrace(q)
+				return tr
+			},
+		})
+	}
+
 	// The observability endpoint binds synchronously so a bad address
 	// fails loudly instead of the operator scraping a port nothing holds.
+	var srv *http.Server
 	if *metrics != "" {
 		ln, err := net.Listen("tcp", *metrics)
 		if err != nil {
 			fatal(err)
 		}
+		srv = &http.Server{Handler: obs.Handler(reg,
+			obs.Route{Path: "/workloadz", Handler: wstats.HTTPHandler(wl)})}
 		go func() {
-			if err := http.Serve(ln, obs.Handler(reg)); err != nil {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "tsunami-cli: metrics endpoint:", err)
 			}
 		}()
-		fmt.Printf("metrics: http://%s/metrics (also /statsz, /debug/pprof/)\n", ln.Addr())
+		fmt.Printf("metrics: http://%s/metrics (also /statsz, /workloadz, /debug/pprof/)\n", ln.Addr())
 	}
 
-	// Graceful shutdown for the serving modes: stop ingest, quiesce
-	// maintenance, write the final snapshot(s), then exit. Ctrl-C on a
-	// plain offline shell just exits.
-	var quiesce sync.Once
+	// Graceful shutdown, in dependency order: stop ingest and quiesce
+	// maintenance (final snapshots included), drain the workload
+	// collector, then let in-flight scrapes finish before the HTTP server
+	// goes away. Ctrl-C on a plain offline shell just stops the endpoint.
+	var finals []func()
 	switch {
 	case s.live != nil:
 		ls := s.live
-		s.shutdown = func() {
-			quiesce.Do(func() {
-				fmt.Println("shutting down: quiescing maintenance...")
-				if err := ls.Close(); err != nil {
-					fmt.Fprintln(os.Stderr, "tsunami-cli: final snapshot:", err)
-				}
-			})
-		}
+		finals = append(finals, func() {
+			fmt.Println("shutting down: quiescing maintenance...")
+			if err := ls.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "tsunami-cli: final snapshot:", err)
+			}
+		})
 	case s.shard != nil:
 		st := s.shard
-		s.shutdown = func() {
-			quiesce.Do(func() {
-				fmt.Println("shutting down: quiescing shard maintenance...")
-				if err := st.Close(); err != nil {
-					fmt.Fprintln(os.Stderr, "tsunami-cli: final snapshots:", err)
-				}
-			})
-		}
+		finals = append(finals, func() {
+			fmt.Println("shutting down: quiescing shard maintenance...")
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "tsunami-cli: final snapshots:", err)
+			}
+		})
+	}
+	finals = append(finals, wl.Close)
+	if srv != nil {
+		finals = append(finals, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "tsunami-cli: metrics shutdown:", err)
+			}
+		})
+	}
+	var quiesce sync.Once
+	s.shutdown = func() {
+		quiesce.Do(func() {
+			for _, f := range finals {
+				f()
+			}
+		})
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -428,6 +487,8 @@ func eval(s *session, names []string, line string) bool {
   explain <pred>...      show which regions/cells the query touches (plan only)
   trace <count|sum ...>  explain-analyze: run the query, show per-stage and per-shard timings
   stats                  index structure + serving telemetry (latency quantiles, scan volume)
+  topq [n]               heaviest query shapes by count with per-shape latency (default 10)
+  slowlog                slow-query log: queries beyond the adaptive p99 threshold, with traces
   insert v1,v2,...       add a row (live/sharded: visible immediately, merged in background)
   merge                  fold buffered rows into the clustered layout now
   rebalance              re-learn shard cuts and migrate rows online (sharded, range partitioner)
@@ -436,6 +497,52 @@ func eval(s *session, names []string, line string) bool {
 `)
 	case "stats":
 		printStats(s)
+	case "topq":
+		n := 10
+		if fields := strings.Fields(line); len(fields) == 2 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v <= 0 {
+				fmt.Println("usage: topq [n]")
+				return false
+			}
+			n = v
+		}
+		s.wl.Sync()
+		snap := s.wl.Snapshot()
+		if len(snap.Fingerprints) == 0 {
+			fmt.Println("no queries sampled yet")
+			return false
+		}
+		if n > len(snap.Fingerprints) {
+			n = len(snap.Fingerprints)
+		}
+		fmt.Printf("top %d query shapes (%s recorded, %d sampled 1-in-%d):\n",
+			n, fmtCount(snap.Queries), snap.Sampled, snap.SampleEvery)
+		for i, f := range snap.Fingerprints[:n] {
+			fmt.Printf("#%d %-44s count~%d", i+1, f.Shape, f.Count)
+			if f.ErrBound > 0 {
+				fmt.Printf(" (±%d)", f.ErrBound)
+			}
+			fmt.Printf("  %.1f%%  p50 %s  p99 %s\n",
+				100*f.Share, fmtSec(f.P50Seconds), fmtSec(f.P99Seconds))
+		}
+	case "slowlog":
+		s.wl.Sync()
+		snap := s.wl.Snapshot()
+		if snap.SlowThresholdSeconds == 0 {
+			fmt.Printf("slow threshold not armed yet (%d sampled; it arms from the sampled p99)\n", snap.Sampled)
+			return false
+		}
+		fmt.Printf("slow-query log: threshold %s (adaptive p99-based), %d slow seen, %d exemplars:\n",
+			fmtSec(snap.SlowThresholdSeconds), snap.SlowSeen, len(snap.Slow))
+		for _, e := range snap.Slow {
+			fmt.Printf("[%s] %s — %s (matched %d, scanned %d rows, %s)\n",
+				e.When.Format("15:04:05.000"), e.Query, fmtSec(e.Seconds),
+				e.Matched, e.Rows, fmtBytes(e.Bytes))
+			if e.Trace != "" {
+				fmt.Print(e.Trace)
+			}
+		}
 	case "trace":
 		rest := strings.TrimSpace(line[len("trace"):])
 		if rest == "" {
@@ -606,6 +713,26 @@ func printStats(s *session) {
 		fmt.Printf(", epoch %d", int64(e))
 	}
 	fmt.Println()
+
+	s.wl.Sync()
+	wsnap := s.wl.Snapshot()
+	fmt.Printf("  %-12s %s recorded (%d sampled 1-in-%d)", "workload",
+		fmtCount(wsnap.Queries), wsnap.Sampled, wsnap.SampleEvery)
+	if wsnap.SlowThresholdSeconds > 0 {
+		fmt.Printf(", slow >%s: %d seen", fmtSec(wsnap.SlowThresholdSeconds), wsnap.SlowSeen)
+	}
+	fmt.Println()
+	for i, f := range wsnap.Fingerprints {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("  %-12s #%d %s — %.1f%%, p99 %s\n", "",
+			i+1, f.Shape, 100*f.Share, fmtSec(f.P99Seconds))
+	}
+	for _, o := range wsnap.SLO {
+		fmt.Printf("  %-12s <%s target %.2f%%: %.3f%% bad, burn %.2fx\n", "slo",
+			fmtSec(o.LatencySeconds), 100*o.Target, 100*o.BadFrac, o.BurnRate)
+	}
 
 	if s.shard == nil {
 		return

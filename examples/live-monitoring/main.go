@@ -2,10 +2,13 @@
 // Perfmon-like metrics table through an Executor while writers stream
 // fresh samples in, and everything — queue depth, per-query latency
 // histograms, ingest/merge timings, epoch publishes — records into one
-// metrics registry exposed over HTTP. The monitor below never touches
-// Stats() or the store directly: like a real dashboard it polls the
-// endpoint (/statsz for rendered quantiles, /metrics for the raw
-// Prometheus exposition a scraper would ingest) and renders what it sees.
+// metrics registry exposed over HTTP. A workload-statistics collector
+// rides along on the same store, fingerprinting every served query into
+// heavy-hitter, selectivity, and SLO statistics. The monitor below never
+// touches Stats() or the store directly: like a real dashboard it polls
+// the endpoint (/statsz for rendered quantiles, /workloadz for the
+// workload profile, /metrics for the raw Prometheus exposition a scraper
+// would ingest) and renders what it sees.
 //
 //	go run ./examples/live-monitoring
 package main
@@ -38,6 +41,25 @@ type statsz struct {
 	} `json:"histograms"`
 }
 
+// workloadz mirrors the parts of the /workloadz JSON document the monitor
+// renders: heavy-hitter shapes and SLO compliance.
+type workloadz struct {
+	Queries      uint64 `json:"queries"`
+	Sampled      uint64 `json:"sampled"`
+	SampleEvery  int    `json:"sample_every"`
+	Fingerprints []struct {
+		Shape string  `json:"shape"`
+		Share float64 `json:"share"`
+		P99   float64 `json:"p99_seconds"`
+	} `json:"fingerprints"`
+	SLO []struct {
+		Latency float64 `json:"latency_seconds"`
+		Target  float64 `json:"target"`
+		BadFrac float64 `json:"bad_frac"`
+		Burn    float64 `json:"burn_rate"`
+	} `json:"slo"`
+}
+
 func main() {
 	const rows = 60_000
 	ds := tsunami.GeneratePerfmon(rows, 1)
@@ -46,9 +68,13 @@ func main() {
 
 	// One registry across the stack: the store records ingest and
 	// maintenance, the executor records queue wait/depth, both feed the
-	// shared query-path histograms.
+	// shared query-path histograms. The workload collector fingerprints
+	// every query the store serves (the store binds it at Open, so it
+	// knows dimension names and domains for selectivity stats).
 	m := tsunami.NewMetrics()
-	ls := tsunami.NewLiveStore(idx, work, tsunami.LiveOptions{Metrics: m, MergeThreshold: 4096})
+	wl := tsunami.NewWorkloadStats(tsunami.WorkloadOptions{})
+	defer wl.Close()
+	ls := tsunami.NewLiveStore(idx, work, tsunami.LiveOptions{Metrics: m, Workload: wl, MergeThreshold: 4096})
 	defer ls.Close()
 	ex := tsunami.NewExecutorSource(ls, tsunami.ExecutorOptions{Workers: 2, Metrics: m})
 	defer ex.Close()
@@ -57,9 +83,9 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	go http.Serve(ln, tsunami.MetricsHandler(m))
+	go http.Serve(ln, tsunami.MetricsHandlerWith(m, wl))
 	base := "http://" + ln.Addr().String()
-	fmt.Printf("serving %s/metrics (Prometheus), /statsz (JSON), /debug/pprof/\n\n", base)
+	fmt.Printf("serving %s/metrics (Prometheus), /statsz + /workloadz (JSON), /debug/pprof/\n\n", base)
 
 	// Load: one writer streams perturbed samples (forcing background
 	// merges straight through the monitored window), one reader drives
@@ -130,6 +156,31 @@ func main() {
 	}
 	close(stop)
 	wg.Wait()
+
+	// The workload profile, off the wire like everything else: which query
+	// shapes dominated the run, and how the latency SLOs fared under it.
+	resp0, err := client.Get(base + "/workloadz")
+	if err != nil {
+		panic(err)
+	}
+	var w workloadz
+	err = json.NewDecoder(resp0.Body).Decode(&w)
+	resp0.Body.Close()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\n/workloadz: %d queries recorded (%d sampled 1-in-%d), top shapes:\n",
+		w.Queries, w.Sampled, w.SampleEvery)
+	for i, f := range w.Fingerprints {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  #%d %-40s %5.1f%%  p99 %s\n", i+1, f.Shape, f.Share*100, fmtSec(f.P99))
+	}
+	for _, o := range w.SLO {
+		fmt.Printf("  slo <%s target %.2f%%: %.3f%% bad, burn %.2fx\n",
+			fmtSec(o.Latency), o.Target*100, o.BadFrac*100, o.Burn)
+	}
 
 	// Show the raw exposition surface too: the lines a Prometheus scraper
 	// would store for the merge/backlog families the dashboard rendered.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/colstore"
 	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/wstats"
 )
 
 // intraQueryIndex is implemented by indexes that can split one query's work
@@ -55,6 +56,16 @@ type ExecutorOptions struct {
 	// path exactly as uninstrumented — submitted tasks are not even
 	// wrapped.
 	Metrics *obs.Registry
+	// Workload, when non-nil, records every query the pool answers into
+	// the workload-statistics collector (fingerprints, heavy hitters, SLO
+	// counters, slow-query log). Set this only when the Executor serves a
+	// plain index: a LiveStore or ShardedStore with its own Workload
+	// collector already records per query, and recording at both layers
+	// would double-count. The Executor does not bind the collector to a
+	// table — bind it through the serving layer's config or
+	// WorkloadStats.Bind for named dimensions, domains, and slow-query
+	// exemplar traces.
+	Workload *WorkloadStats
 }
 
 // execMetrics caches the Executor's resolved instruments so the record
@@ -95,11 +106,12 @@ func newExecMetrics(r *obs.Registry) *execMetrics {
 // serving; an IndexSource-backed Executor relies on the source only ever
 // publishing immutable values.
 type Executor struct {
-	source  func() Index
-	intra   bool // split single Execute calls when the index supports it
-	workers int
-	maxWave int
-	metrics *execMetrics // nil when instrumentation is off
+	source   func() Index
+	intra    bool // split single Execute calls when the index supports it
+	workers  int
+	maxWave  int
+	metrics  *execMetrics      // nil when instrumentation is off
+	workload *wstats.Collector // nil when workload stats are off
 
 	// jobs carries closures so one pool serves both granularities: whole
 	// queries (ExecuteBatch) and a single query's region-draining tasks
@@ -141,12 +153,13 @@ func newExecutor(source func() Index, o ExecutorOptions) *Executor {
 		maxWave = workers
 	}
 	e := &Executor{
-		source:  source,
-		intra:   o.IntraQuery,
-		workers: workers,
-		maxWave: maxWave,
-		metrics: newExecMetrics(o.Metrics),
-		jobs:    make(chan execJob, 2*workers),
+		source:   source,
+		intra:    o.IntraQuery,
+		workers:  workers,
+		maxWave:  maxWave,
+		metrics:  newExecMetrics(o.Metrics),
+		workload: o.Workload,
+		jobs:     make(chan execJob, 2*workers),
 	}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -211,9 +224,9 @@ func (e *Executor) Execute(q Query) Result {
 		return Result{}
 	}
 	idx := e.source()
-	m := e.metrics
+	m, w := e.metrics, e.workload
 	var start time.Time
-	if m != nil {
+	if m != nil || w != nil {
 		start = time.Now()
 	}
 	var res Result
@@ -228,8 +241,12 @@ func (e *Executor) Execute(q Query) Result {
 	} else {
 		res = idx.Execute(q)
 	}
-	if m != nil {
-		m.latency.RecordDuration(time.Since(start))
+	if m != nil || w != nil {
+		d := time.Since(start)
+		if m != nil {
+			m.latency.RecordDuration(d)
+		}
+		w.Record(q, d, res.Count, res.PointsScanned, res.BytesTouched)
 	}
 	return res
 }
@@ -258,7 +275,7 @@ func (e *Executor) ExecuteBatch(qs []Query) []Result {
 // false if the Executor was closed before the whole wave was scheduled
 // (results for unscheduled queries stay zero).
 func (e *Executor) runWave(qs []Query, out []Result) bool {
-	m := e.metrics
+	m, w := e.metrics, e.workload
 	if m != nil {
 		m.waveSize.Record(int64(len(qs)))
 	}
@@ -268,10 +285,14 @@ func (e *Executor) runWave(qs []Query, out []Result) bool {
 		i, q := i, q
 		done.Add(1)
 		if !e.trySubmit(func() {
-			if m != nil {
+			if m != nil || w != nil {
 				start := time.Now()
 				out[i] = e.source().Execute(q)
-				m.latency.RecordDuration(time.Since(start))
+				d := time.Since(start)
+				if m != nil {
+					m.latency.RecordDuration(d)
+				}
+				w.Record(q, d, out[i].Count, out[i].PointsScanned, out[i].BytesTouched)
 			} else {
 				out[i] = e.source().Execute(q)
 			}

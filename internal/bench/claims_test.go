@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -111,11 +110,11 @@ func TestClaimShardedIngestScales(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if runtime.GOMAXPROCS(0) <= 1 {
+	if effectiveParallelism() <= 1 {
 		if !r.ScalingUnreliable {
-			t.Error("GOMAXPROCS=1 run must flag ScalingUnreliable")
+			t.Error("effective-parallelism-1 run must flag ScalingUnreliable")
 		}
-		t.Skip("GOMAXPROCS=1: shard-scaling assertions are unreliable, skipping")
+		t.Skip("effective parallelism 1: shard-scaling assertions are unreliable, skipping")
 	}
 	if r.ScalingUnreliable {
 		t.Error("multi-CPU run must not flag ScalingUnreliable")

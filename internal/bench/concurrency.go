@@ -32,7 +32,8 @@ type ConcurrencyResult struct {
 	Rows    int `json:"rows"`
 	Queries int `json:"queries"`
 	// ScalingUnreliable marks this run's speedup-vs-workers numbers as
-	// unable to support scaling claims: with GOMAXPROCS=1 every worker
+	// unable to support scaling claims: with effective parallelism 1
+	// (GOMAXPROCS=1, or one CPU regardless of GOMAXPROCS) every worker
 	// count timeshares one CPU, so "speedups" are scheduler noise (the
 	// trap the committed BENCH_5.json fell into).
 	ScalingUnreliable bool        `json:"scaling_unreliable,omitempty"`
@@ -61,7 +62,7 @@ func RunConcurrency(o Options) (*ConcurrencyResult, error) {
 		return nil, err
 	}
 
-	res := &ConcurrencyResult{Rows: o.Rows, Queries: len(work), ScalingUnreliable: runtime.GOMAXPROCS(0) <= 1}
+	res := &ConcurrencyResult{Rows: o.Rows, Queries: len(work), ScalingUnreliable: effectiveParallelism() <= 1}
 	base := 0.0
 	for _, n := range dedupInts([]int{1, 4, runtime.NumCPU()}) {
 		m := tsunami.NewMetrics()
@@ -115,8 +116,21 @@ func Concurrency(w io.Writer, o Options) {
 	fmt.Fprintf(w, "intra-query (%d workers, one query at a time): %.0f q/s (%.2fx vs 1 worker)\n",
 		r.IntraWorkers, r.IntraQPS, r.IntraSpeedup)
 	if r.ScalingUnreliable {
-		fmt.Fprintf(w, "NOTE: GOMAXPROCS=1 — worker-scaling numbers cannot support scaling claims\n")
+		fmt.Fprintf(w, "NOTE: effective parallelism 1 (GOMAXPROCS or CPU count) — worker-scaling numbers cannot support scaling claims\n")
 	}
+}
+
+// effectiveParallelism is how many goroutines can truly run at once:
+// GOMAXPROCS capped by the machine's CPU count. Raising GOMAXPROCS above
+// NumCPU adds scheduler thrash, not parallelism — a GOMAXPROCS=4 run on
+// a 1-CPU container must still flag its scaling numbers as unreliable
+// (the committed BENCH_6.json escaped the flag exactly this way).
+func effectiveParallelism() int {
+	n := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c < n {
+		n = c
+	}
+	return n
 }
 
 // dedupInts drops repeated values, preserving order (NumCPU may equal one

@@ -41,6 +41,9 @@ type Report struct {
 	// timeline tools can track the instrumentation tax without knowing
 	// the experiment's internal shape. Omitted when obs did not run.
 	ObsOverheadPct *float64 `json:"obs_overhead_pct,omitempty"`
+	// WorkloadOverheadPct is the same surfacing for the metrics-plus-
+	// workload-statistics store (experiments.obs.workload_overhead_pct).
+	WorkloadOverheadPct *float64 `json:"workload_overhead_pct,omitempty"`
 
 	// Experiments maps experiment id to its typed result struct
 	// (ScanKernelsResult, ConcurrencyResult, ShardedResult, ObsResult).
@@ -96,6 +99,7 @@ func RunJSON(w io.Writer, ids []string, o Options) error {
 		rep.Experiments[id] = res
 		if or, ok := res.(*ObsResult); ok {
 			rep.ObsOverheadPct = &or.OverheadPct
+			rep.WorkloadOverheadPct = &or.WorkloadOverheadPct
 		}
 	}
 	enc := json.NewEncoder(w)

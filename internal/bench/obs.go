@@ -29,6 +29,12 @@ type ObsResult struct {
 	// OverheadPct is the median per-pair slowdown, as a percentage: how
 	// much slower the instrumented path is. Negative values are noise.
 	OverheadPct float64 `json:"overhead_pct"`
+	// WorkloadQPS and WorkloadOverheadPct are the same measurements for a
+	// third store carrying the metrics registry plus a workload-statistics
+	// collector (fingerprints, heavy hitters, SLO counters, slow-query
+	// log) — the full instrumented path, against the same bare baseline.
+	WorkloadQPS         float64 `json:"workload_qps"`
+	WorkloadOverheadPct float64 `json:"workload_overhead_pct"`
 	// P50Us/P99Us are the instrumented run's own latency histogram
 	// (tsunami_query_latency_seconds) — the quantiles the overhead buys.
 	P50Us float64 `json:"p50_us"`
@@ -65,25 +71,43 @@ func RunObs(o Options) (*ObsResult, error) {
 	instrCfg.Metrics = m
 	instr := live.Open(idx, nil, instrCfg)
 	defer instr.Close()
+	wlCfg := instrCfg
+	wl := tsunami.NewWorkloadStats(tsunami.WorkloadOptions{})
+	defer wl.Close()
+	wlCfg.Workload = wl
+	wstore := live.Open(idx, nil, wlCfg)
+	defer wstore.Close()
 
 	const pairs = 96
 	res := &ObsResult{Rows: o.Rows, Queries: len(work), Pairs: pairs}
-	timedPass(bare, work) // joint warm-up: page in both stores' code and data
+	timedPass(bare, work) // joint warm-up: page in all stores' code and data
 	timedPass(instr, work)
+	timedPass(wstore, work)
 	ratios := make([]float64, 0, pairs)
+	wlRatios := make([]float64, 0, pairs)
 	bareNs := make([]float64, 0, pairs)
 	instrNs := make([]float64, 0, pairs)
+	wlNs := make([]float64, 0, pairs)
 	for r := 0; r < pairs; r++ {
 		bn := timedPass(bare, work)
 		in := timedPass(instr, work)
+		wn := timedPass(wstore, work)
+		// Drain the collector's consumer between pairs, outside the timed
+		// windows, so its bursty backlog processing can't land inside the
+		// next bare baseline (or a later wstore pass) at random.
+		wl.Sync()
 		ratios = append(ratios, float64(in)/float64(bn))
+		wlRatios = append(wlRatios, float64(wn)/float64(bn))
 		bareNs = append(bareNs, float64(bn))
 		instrNs = append(instrNs, float64(in))
+		wlNs = append(wlNs, float64(wn))
 	}
 	res.OverheadPct = (median(ratios) - 1) * 100
+	res.WorkloadOverheadPct = (median(wlRatios) - 1) * 100
 	perPass := float64(len(work)) * 1e9
 	res.BareQPS = perPass / median(bareNs)
 	res.InstrumentedQPS = perPass / median(instrNs)
+	res.WorkloadQPS = perPass / median(wlNs)
 	lat := m.Snapshot().Hists[obs.MQueryLatency]
 	res.P50Us = lat.Quantile(0.5) * 1e6
 	res.P99Us = lat.Quantile(0.99) * 1e6
@@ -100,6 +124,8 @@ func Obs(w io.Writer, o Options) {
 	}
 	fmt.Fprintf(w, "bare %.0f q/s vs instrumented %.0f q/s: overhead %.2f%% (median of %d pairs; instrumented p50 %.0fµs, p99 %.0fµs)\n",
 		r.BareQPS, r.InstrumentedQPS, r.OverheadPct, r.Pairs, r.P50Us, r.P99Us)
+	fmt.Fprintf(w, "with workload stats %.0f q/s: overhead %.2f%% over bare (metrics + fingerprints, heavy hitters, SLO, slow-query log)\n",
+		r.WorkloadQPS, r.WorkloadOverheadPct)
 }
 
 // timedPass runs the workload through a LiveStore once and reports the

@@ -86,7 +86,7 @@ func RunScanKernels(o Options) *ScanKernelsResult {
 		Dims:              dims,
 		Threads:           threads,
 		Kernel:            colstore.KernelName(),
-		ScalingUnreliable: threads <= 1,
+		ScalingUnreliable: effectiveParallelism() <= 1,
 	}
 	window := 120 * time.Millisecond
 	if o.Quick {
@@ -207,6 +207,6 @@ func Scan(w io.Writer, o Options) {
 	}
 	t.print(w)
 	if r.ScalingUnreliable {
-		fmt.Fprintf(w, "NOTE: GOMAXPROCS=1 — saturated-pool numbers cannot support scaling claims\n")
+		fmt.Fprintf(w, "NOTE: effective parallelism 1 (GOMAXPROCS or CPU count) — saturated-pool numbers cannot support scaling claims\n")
 	}
 }

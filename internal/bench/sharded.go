@@ -70,7 +70,7 @@ func RunSharded(o Options) (*ShardedResult, error) {
 	if writers < 4 {
 		writers = 4
 	}
-	res := &ShardedResult{Rows: o.Rows, Writers: writers, ScalingUnreliable: runtime.GOMAXPROCS(0) <= 1}
+	res := &ShardedResult{Rows: o.Rows, Writers: writers, ScalingUnreliable: effectiveParallelism() <= 1}
 	base := 0.0
 	for _, n := range dedupInts([]int{1, 2, 4, runtime.NumCPU()}) {
 		m := tsunami.NewMetrics()
@@ -141,7 +141,7 @@ func Sharded(w io.Writer, o Options) {
 	fmt.Fprintf(w, "scatter-gather (%d shards, %d workers): %.0f q/s (p50 %.0fµs, p99 %.0fµs), mean fan-out %.2f shards (%.0f%% of shard scans pruned)\n",
 		r.ReadShards, r.ReadWorkers, r.ReadQPS, r.ReadP50Us, r.ReadP99Us, r.MeanFanout, 100*r.PrunedFrac)
 	if r.ScalingUnreliable {
-		fmt.Fprintf(w, "NOTE: GOMAXPROCS=1 — shard-scaling numbers cannot support scaling claims\n")
+		fmt.Fprintf(w, "NOTE: effective parallelism 1 (GOMAXPROCS or CPU count) — shard-scaling numbers cannot support scaling claims\n")
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/shift"
+	"repro/internal/wstats"
 )
 
 // Config tunes a live store; zero values take defaults.
@@ -94,6 +95,16 @@ type Config struct {
 	// on a shared registry. Counters and histograms are never labeled —
 	// sharing those instances is what makes shard metrics aggregate.
 	MetricsLabel string
+	// Workload, when non-nil, records every served query's shape,
+	// latency, and result selectivity into the workload-statistics
+	// collector (internal/wstats): heavy-hitter fingerprints, per-dim
+	// selectivity, SLO counters, and the slow-query log. Open binds the
+	// collector to this store (column names, domains, live row count, and
+	// a trace function for slow-query exemplars). Same contract as
+	// Metrics: nil keeps the hot path bare. A ShardedStore records at the
+	// router instead and clears this per shard — set sharded.Config.
+	// Workload there.
+	Workload *wstats.Collector
 }
 
 func (c *Config) fill() {
@@ -199,6 +210,14 @@ func newLiveMetrics(s *Store, r *obs.Registry, label string) *liveMetrics {
 	return m
 }
 
+// obsItem is one served query on its way to the shift detector: the
+// query plus the result selectivity it observed (matched rows over the
+// rows served), which feeds the detector's ObserveResult drift signal.
+type obsItem struct {
+	q   query.Query
+	sel float64
+}
+
 // version is one published epoch: an immutable index plus how much of the
 // store's replay log its delta buffers already reflect.
 type version struct {
@@ -236,8 +255,8 @@ type Store struct {
 	// maintenance goroutine and from Flush callers).
 	emitMu sync.Mutex
 
-	obs  chan query.Query // sampled feed of served queries to the detector
-	wake chan struct{}    // nudges maintenance when the threshold trips
+	obs  chan obsItem  // sampled feed of served queries to the detector
+	wake chan struct{} // nudges maintenance when the threshold trips
 	quit chan struct{}
 	done chan struct{}
 
@@ -289,7 +308,31 @@ func Open(idx *core.Tsunami, optimized []query.Query, cfg Config) *Store {
 		s.detector = shift.NewDetector(idx.Store(), optimized, cfg.Shift)
 		s.detectorTypes.Store(int64(s.detector.NumTypes()))
 		s.recent = make([]query.Query, cfg.Shift.WindowSize)
-		s.obs = make(chan query.Query, 4*cfg.Shift.WindowSize)
+		s.obs = make(chan obsItem, 4*cfg.Shift.WindowSize)
+	}
+	if cfg.Workload != nil {
+		st := idx.Store()
+		lo := make([]int64, st.NumDims())
+		hi := make([]int64, st.NumDims())
+		for d := range lo {
+			lo[d], hi[d] = st.MinMax(d)
+		}
+		cfg.Workload.Bind(wstats.Binding{
+			DimNames: st.Names(),
+			DomainLo: lo,
+			DomainHi: hi,
+			Rows: func() uint64 {
+				idx := s.cur.Load().idx
+				return uint64(idx.Store().NumRows() + idx.NumBuffered())
+			},
+			// Slow-query exemplars trace through the current epoch's core
+			// index directly — not Store.ExecuteTrace — so a capture never
+			// re-records into the collector or the detector feed.
+			Trace: func(q query.Query) *obs.QueryTrace {
+				_, tr := s.cur.Load().idx.ExecuteTrace(q)
+				return tr
+			},
+		})
 	}
 	go s.maintain()
 	// A restored index may already hold a threshold's worth of buffered
@@ -320,18 +363,26 @@ func Recover(r io.Reader, optimized []query.Query, cfg Config) (*Store, error) {
 
 // Execute answers one query against the current epoch, lock-free, and
 // feeds the shift detector (sampled: observations are dropped, not
-// waited for, when the detector falls behind).
+// waited for, when the detector falls behind) and the workload-
+// statistics collector when one is configured.
 func (s *Store) Execute(q query.Query) colstore.ScanResult {
 	v := s.cur.Load()
 	s.queries.Add(1)
-	s.observeAsync(q)
-	if m := s.metrics; m != nil {
-		start := time.Now()
+	m, w := s.metrics, s.cfg.Workload
+	if m == nil && w == nil {
 		res := v.idx.Execute(q)
-		m.qm.Observe(time.Since(start), res.PointsScanned, res.BytesTouched)
+		s.observeAsync(q, res.Count, v)
 		return res
 	}
-	return v.idx.Execute(q)
+	start := time.Now()
+	res := v.idx.Execute(q)
+	d := time.Since(start)
+	if m != nil {
+		m.qm.Observe(d, res.PointsScanned, res.BytesTouched)
+	}
+	w.Record(q, d, res.Count, res.PointsScanned, res.BytesTouched)
+	s.observeAsync(q, res.Count, v)
+	return res
 }
 
 // ExecuteParallelOn exposes the index's intra-query parallelism against
@@ -340,22 +391,38 @@ func (s *Store) Execute(q query.Query) colstore.ScanResult {
 func (s *Store) ExecuteParallelOn(q query.Query, workers int, submit func(task func())) colstore.ScanResult {
 	v := s.cur.Load()
 	s.queries.Add(1)
-	s.observeAsync(q)
-	if m := s.metrics; m != nil {
-		start := time.Now()
+	m, w := s.metrics, s.cfg.Workload
+	if m == nil && w == nil {
 		res := v.idx.ExecuteParallelOn(q, workers, submit)
-		m.qm.Observe(time.Since(start), res.PointsScanned, res.BytesTouched)
+		s.observeAsync(q, res.Count, v)
 		return res
 	}
-	return v.idx.ExecuteParallelOn(q, workers, submit)
+	start := time.Now()
+	res := v.idx.ExecuteParallelOn(q, workers, submit)
+	d := time.Since(start)
+	if m != nil {
+		m.qm.Observe(d, res.PointsScanned, res.BytesTouched)
+	}
+	w.Record(q, d, res.Count, res.PointsScanned, res.BytesTouched)
+	s.observeAsync(q, res.Count, v)
+	return res
 }
 
-func (s *Store) observeAsync(q query.Query) {
+// observeAsync feeds the detector one served query and the result
+// selectivity it observed against the epoch it was served from.
+func (s *Store) observeAsync(q query.Query, matched uint64, v *version) {
 	if s.obs == nil {
 		return
 	}
+	sel := 1.0
+	if rows := v.idx.Store().NumRows() + v.idx.NumBuffered(); rows > 0 {
+		sel = float64(matched) / float64(rows)
+		if sel > 1 {
+			sel = 1
+		}
+	}
 	select {
-	case s.obs <- q:
+	case s.obs <- obsItem{q: q, sel: sel}:
 	default:
 		s.droppedObs.Add(1)
 	}
@@ -530,13 +597,13 @@ func (s *Store) maintain() {
 		defer t.Stop()
 		tick = t.C
 	}
-	var obs <-chan query.Query = s.obs // nil when shift detection is off
+	var obs <-chan obsItem = s.obs // nil when shift detection is off
 	for {
 		select {
 		case <-s.quit:
 			return
-		case q := <-obs:
-			s.observe(q)
+		case it := <-obs:
+			s.observe(it)
 		case <-s.wake:
 			s.runMerge()
 		case <-tick:
@@ -545,11 +612,14 @@ func (s *Store) maintain() {
 	}
 }
 
-// observe feeds one served query to the detector and, periodically,
-// analyzes the window; a detected shift re-optimizes the most-drifted
-// regions for the recently observed workload.
-func (s *Store) observe(q query.Query) {
-	s.detector.Observe(q)
+// observe feeds one served query — and the result selectivity it
+// observed — to the detector and, periodically, analyzes the window; a
+// detected shift re-optimizes the most-drifted regions for the recently
+// observed workload.
+func (s *Store) observe(it obsItem) {
+	q := it.q
+	ty := s.detector.Observe(q)
+	s.detector.ObserveResult(ty, it.sel)
 	s.recent[s.recentPos] = q
 	s.recentPos = (s.recentPos + 1) % len(s.recent)
 	if s.recentN < len(s.recent) {

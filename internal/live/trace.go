@@ -18,12 +18,14 @@ import (
 func (s *Store) ExecuteTrace(q query.Query) (colstore.ScanResult, *obs.QueryTrace) {
 	v := s.cur.Load()
 	s.queries.Add(1)
-	s.observeAsync(q)
 	start := time.Now()
 	res, tr := v.idx.ExecuteTrace(q)
+	d := time.Since(start)
 	if m := s.metrics; m != nil {
-		m.qm.Observe(time.Since(start), res.PointsScanned, res.BytesTouched)
+		m.qm.Observe(d, res.PointsScanned, res.BytesTouched)
 	}
+	s.cfg.Workload.Record(q, d, res.Count, res.PointsScanned, res.BytesTouched)
+	s.observeAsync(q, res.Count, v)
 	tr.Stages = append([]obs.TraceStage{{
 		Name:   "epoch",
 		Detail: fmt.Sprintf("serving epoch %d (%d buffered rows)", v.epoch, v.idx.NumBuffered()),

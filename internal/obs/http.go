@@ -5,6 +5,15 @@ import (
 	"net/http/pprof"
 )
 
+// Route is an extra endpoint mounted on Handler's mux alongside the
+// built-in surface — e.g. the workload-statistics /workloadz endpoint
+// (internal/wstats.HTTPHandler).
+type Route struct {
+	// Path is the mux pattern, e.g. "/workloadz".
+	Path    string
+	Handler http.Handler
+}
+
 // Handler returns an http.Handler serving the registry's observability
 // surface:
 //
@@ -12,10 +21,11 @@ import (
 //	/statsz         JSON snapshot with headline quantiles
 //	/debug/pprof/*  standard net/http/pprof profiles
 //
-// The pprof routes are registered explicitly rather than through the
-// package's DefaultServeMux side effect, so an embedding server exposes
-// profiling only when it mounts this handler.
-func Handler(r *Registry) http.Handler {
+// plus any extra Routes, which are listed on the index page. The pprof
+// routes are registered explicitly rather than through the package's
+// DefaultServeMux side effect, so an embedding server exposes profiling
+// only when it mounts this handler.
+func Handler(r *Registry, extra ...Route) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -30,13 +40,19 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	index := "tsunami observability endpoint\n/metrics\n/statsz\n"
+	for _, rt := range extra {
+		mux.Handle(rt.Path, rt.Handler)
+		index += rt.Path + "\n"
+	}
+	index += "/debug/pprof/\n"
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("tsunami observability endpoint\n/metrics\n/statsz\n/debug/pprof/\n"))
+		_, _ = w.Write([]byte(index))
 	})
 	return mux
 }

@@ -53,6 +53,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/wstats"
 )
 
 // Config tunes a sharded store; zero values take defaults.
@@ -96,6 +97,16 @@ type Config struct {
 	// construction) and keep per-shard levels apart via {shard="i"}-labeled
 	// gauges. It overrides Live.Metrics.
 	Metrics *obs.Registry
+	// Workload, when non-nil, records every routed query's shape,
+	// end-to-end latency (scatter-gather included), and result selectivity
+	// into the workload-statistics collector (internal/wstats). Recording
+	// happens once at the router — any Live.Workload is cleared on the
+	// per-shard configs so a fan-out query is never double-counted. The
+	// collector is bound to the whole table: per-dimension domains are the
+	// union across shards, the live row count sums the shards, and
+	// slow-query exemplars trace through the router's non-recording trace
+	// path. Nil keeps the hot path bare.
+	Workload *wstats.Collector
 }
 
 // shardedMetrics caches the router's resolved instruments.
@@ -210,7 +221,8 @@ type Store struct {
 
 	snapshotDir string
 	onEvent     func(Event)
-	metrics     *shardedMetrics // nil when instrumentation is off
+	metrics     *shardedMetrics   // nil when instrumentation is off
+	workload    *wstats.Collector // nil when workload stats are off
 
 	emitMu sync.Mutex // serializes OnEvent across shards
 
@@ -354,6 +366,9 @@ func openShards(parts Partitioner, idxs []*core.Tsunami, workload []query.Query,
 	s.shards = make([]*live.Store, len(idxs))
 	for i, idx := range idxs {
 		lc := cfg.Live
+		// Workload stats record once at the router (below); a collector on
+		// the per-shard config would double-count every fan-out query.
+		lc.Workload = nil
 		if cfg.Metrics != nil {
 			lc.Metrics = cfg.Metrics
 			lc.MetricsLabel = fmt.Sprintf(`{shard="%d"}`, i)
@@ -390,6 +405,43 @@ func openShards(parts Partitioner, idxs []*core.Tsunami, workload []query.Query,
 			}
 		}
 		s.shards[i] = live.Open(idx, shardWorkload(parts, i, workload), lc)
+	}
+	if cfg.Workload != nil {
+		s.workload = cfg.Workload
+		st := idxs[0].Store()
+		lo := make([]int64, st.NumDims())
+		hi := make([]int64, st.NumDims())
+		for d := range lo {
+			lo[d], hi[d] = st.MinMax(d)
+			for _, idx := range idxs[1:] {
+				l, h := idx.Store().MinMax(d)
+				if l < lo[d] {
+					lo[d] = l
+				}
+				if h > hi[d] {
+					hi[d] = h
+				}
+			}
+		}
+		s.workload.Bind(wstats.Binding{
+			DimNames: st.Names(),
+			DomainLo: lo,
+			DomainHi: hi,
+			Rows: func() uint64 {
+				var total uint64
+				for _, sh := range s.shards {
+					idx := sh.Index()
+					total += uint64(idx.Store().NumRows() + idx.NumBuffered())
+				}
+				return total
+			},
+			// Slow-query exemplars go through the non-recording trace path,
+			// so a capture never re-records into the collector.
+			Trace: func(q query.Query) *obs.QueryTrace {
+				_, tr := s.executeTrace(q)
+				return tr
+			},
+		})
 	}
 	// Seed the directory with a full consistent snapshot (shard files
 	// first, manifest last), never a bare manifest: Recover must always
@@ -491,6 +543,17 @@ func (s *Store) readStable(fn func(top *topology, scanned *int) colstore.ScanRes
 // retried, not waited on); use an Executor with IntraQuery for parallel
 // scatter-gather.
 func (s *Store) Execute(q query.Query) colstore.ScanResult {
+	w := s.workload
+	if w == nil {
+		return s.executeRouted(q)
+	}
+	start := time.Now()
+	res := s.executeRouted(q)
+	w.Record(q, time.Since(start), res.Count, res.PointsScanned, res.BytesTouched)
+	return res
+}
+
+func (s *Store) executeRouted(q query.Query) colstore.ScanResult {
 	return s.readStable(func(top *topology, scanned *int) colstore.ScanResult {
 		ids := top.parts.Shards(q, make([]int, 0, len(s.shards)))
 		*scanned = len(ids)
@@ -512,6 +575,17 @@ func (s *Store) Execute(q query.Query) colstore.ScanResult {
 // tasks, so running them on a shared pool cannot deadlock. A nil submit
 // spawns one goroutine per task.
 func (s *Store) ExecuteParallelOn(q query.Query, workers int, submit func(task func())) colstore.ScanResult {
+	w := s.workload
+	if w == nil {
+		return s.executeParallelRouted(q, workers, submit)
+	}
+	start := time.Now()
+	res := s.executeParallelRouted(q, workers, submit)
+	w.Record(q, time.Since(start), res.Count, res.PointsScanned, res.BytesTouched)
+	return res
+}
+
+func (s *Store) executeParallelRouted(q query.Query, workers int, submit func(task func())) colstore.ScanResult {
 	return s.readStable(func(top *topology, scanned *int) colstore.ScanResult {
 		ids := top.parts.Shards(q, make([]int, 0, len(s.shards)))
 		*scanned = len(ids)

@@ -19,6 +19,16 @@ import (
 // commit window overlaps it (the trace is rebuilt from scratch on retry,
 // so spans from a discarded attempt never leak into the result).
 func (s *Store) ExecuteTrace(q query.Query) (colstore.ScanResult, *obs.QueryTrace) {
+	start := time.Now()
+	res, tr := s.executeTrace(q)
+	s.workload.Record(q, time.Since(start), res.Count, res.PointsScanned, res.BytesTouched)
+	return res, tr
+}
+
+// executeTrace is ExecuteTrace without workload-statistics recording; the
+// collector's slow-query exemplar capture calls it so a capture cannot
+// re-enter the collector.
+func (s *Store) executeTrace(q query.Query) (colstore.ScanResult, *obs.QueryTrace) {
 	tr := &obs.QueryTrace{Query: q.String()}
 	total := time.Now()
 	res := s.readStable(func(top *topology, scanned *int) colstore.ScanResult {

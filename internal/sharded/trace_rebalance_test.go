@@ -1,0 +1,154 @@
+package sharded
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/testutil"
+)
+
+// checkTraceConsistent asserts the internal-consistency invariants a
+// scatter-gather trace must hold no matter when it was captured: the
+// per-shard spans account exactly for the result's scan volume, no shard
+// appears twice, every shard id is valid, and the route/scan/merge
+// stages appear exactly once each.
+func checkTraceConsistent(t *testing.T, s *Store, when string, res colstore.ScanResult, tr *obs.QueryTrace) {
+	t.Helper()
+	if tr.Rows != res.PointsScanned || tr.Bytes != res.BytesTouched {
+		t.Errorf("%s: trace totals (rows %d, bytes %d) disagree with result (%d, %d)",
+			when, tr.Rows, tr.Bytes, res.PointsScanned, res.BytesTouched)
+	}
+	var rows, bytes uint64
+	regions := 0
+	seen := make(map[int]bool)
+	for _, sp := range tr.Shards {
+		if sp.Shard < 0 || sp.Shard >= s.NumShards() {
+			t.Errorf("%s: span names shard %d of %d", when, sp.Shard, s.NumShards())
+		}
+		if seen[sp.Shard] {
+			t.Errorf("%s: shard %d has two spans — a discarded seqlock attempt leaked into the trace", when, sp.Shard)
+		}
+		seen[sp.Shard] = true
+		rows += sp.Rows
+		bytes += sp.Bytes
+		regions += sp.Regions
+	}
+	if rows != res.PointsScanned || bytes != res.BytesTouched {
+		t.Errorf("%s: shard spans sum to (rows %d, bytes %d), result says (%d, %d)",
+			when, rows, bytes, res.PointsScanned, res.BytesTouched)
+	}
+	if regions != tr.Regions {
+		t.Errorf("%s: shard spans sum to %d regions, trace header says %d", when, regions, tr.Regions)
+	}
+	stages := make(map[string]int)
+	for _, st := range tr.Stages {
+		stages[st.Name]++
+	}
+	for _, name := range []string{"route", "scan", "merge"} {
+		if stages[name] != 1 {
+			t.Errorf("%s: stage %q appears %d times, want exactly once (stages: %v)",
+				when, name, stages[name], tr.Stages)
+		}
+	}
+}
+
+// TestExecuteTraceDuringRebalance pins that explain-analyze traces stay
+// internally consistent and exact while a rebalance migrates rows
+// between shards: concurrent ExecuteTrace callers hammer the store
+// through the whole migration (their attempts overlap commit windows and
+// retry), and the moveHook additionally traces from inside a move's
+// persistence protocol, where a cut migration is declared but not yet
+// committed. Every trace — whenever captured — must agree with the
+// oracle aggregates and with itself.
+func TestExecuteTraceDuringRebalance(t *testing.T) {
+	st := testutil.SmallTaxi(5000, 451)
+	dir := filepath.Join(t.TempDir(), "snap")
+	s, err := Open(st, nil, smallConfig(), Config{
+		Shards:      3,
+		Learned:     true,
+		SnapshotDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	extra := skewedRows(st, 3000, 452)
+	if err := s.InsertBatch(extra); err != nil {
+		t.Fatal(err)
+	}
+
+	truth := combined(t, st, extra)
+	probes := append(testutil.RandomQueries(truth, 10, 453), query.NewCount())
+	lo, hi := truth.MinMax(0)
+	for i := 0; i < 6; i++ {
+		a := lo + int64(i)*(hi-lo)/6
+		probes = append(probes, query.NewCount(query.Filter{Dim: 0, Lo: a, Hi: a + (hi-lo)/4}))
+	}
+	want := make([]colstore.ScanResult, len(probes))
+	for i, q := range probes {
+		want[i] = s.Execute(q)
+	}
+
+	// Trace from inside the migration's persistence protocol: the pending
+	// move is declared (intent manifest written) but rows haven't moved,
+	// or have moved and are being persisted. The hook runs outside the
+	// seqlock commit window, so tracing from it must not deadlock and
+	// must still see exact aggregates.
+	hookTraces := 0
+	s.moveHook = func(stage string) {
+		i := hookTraces % len(probes)
+		hookTraces++
+		res, tr := s.ExecuteTrace(probes[i])
+		if res.Count != want[i].Count || res.Sum != want[i].Sum {
+			t.Errorf("mid-move (%s) trace of %s: got (%d, %d), want (%d, %d)",
+				stage, probes[i], res.Count, res.Sum, want[i].Count, want[i].Sum)
+		}
+		checkTraceConsistent(t, s, "mid-move "+stage, res, tr)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for r := 0; r < 4; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := r; !stop.Load(); k++ {
+				i := k % len(probes)
+				res, tr := s.ExecuteTrace(probes[i])
+				if res.Count != want[i].Count || res.Sum != want[i].Sum {
+					select {
+					case errs <- fmt.Sprintf("reader %d: %s: got (%d, %d), want (%d, %d)",
+						r, probes[i], res.Count, res.Sum, want[i].Count, want[i].Sum):
+					default:
+					}
+					return
+				}
+				checkTraceConsistent(t, s, "concurrent", res, tr)
+			}
+		}()
+	}
+
+	if err := s.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Errorf("trace diverged during rebalance: %s", e)
+	}
+	if s.Stats().RowsMigrated == 0 {
+		t.Error("rebalance moved no rows — the traces were not challenged")
+	}
+	if hookTraces == 0 {
+		t.Error("moveHook never fired — no trace was captured mid-move")
+	}
+}

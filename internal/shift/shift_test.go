@@ -126,3 +126,54 @@ func TestWindowSlides(t *testing.T) {
 		t.Errorf("window did not slide back to normal (%+v)", rep)
 	}
 }
+
+// TestSelectivityDrift exercises the ObserveResult channel: identical
+// query shapes whose observed result selectivity departs from the
+// fingerprint-time baseline must raise Report.SelDrift, and trigger only
+// when Config.SelDriftThreshold enables it.
+func TestSelectivityDrift(t *testing.T) {
+	ds := datasets.TPCH(20000, 1)
+	types := workload.TPCHTypes()
+	optimized := workload.Generate(ds.Store, types, 40, 2)
+	live := interleave(workload.Generate(ds.Store, types, 40, 99), len(types))
+
+	baseline := func(cfg Config) (*Detector, Report) {
+		det := NewDetector(ds.Store, optimized, cfg)
+		for _, q := range live {
+			ty := det.Observe(q)
+			det.ObserveResult(ty, det.querySelectivity(q))
+		}
+		return det, det.Analyze()
+	}
+
+	// Feeding back the probed selectivities themselves: no drift.
+	_, rep := baseline(Config{WindowSize: 100, MinObserved: 50, SelDriftThreshold: 0.3})
+	if rep.SelDrift > 0.15 {
+		t.Errorf("SelDrift %.2f on undrifted feedback", rep.SelDrift)
+	}
+	if rep.ShiftDetected {
+		t.Errorf("false positive with undrifted selectivities (%+v)", rep)
+	}
+
+	// Same shapes, but every query now observes near-total selectivity —
+	// as after heavily skewed ingest concentrated the data under them.
+	drifted := NewDetector(ds.Store, optimized, Config{WindowSize: 100, MinObserved: 50})
+	for _, q := range live {
+		drifted.ObserveResult(drifted.Observe(q), 0.95)
+	}
+	rep = drifted.Analyze()
+	if rep.SelDrift < 0.3 {
+		t.Errorf("SelDrift %.2f, want the near-1 observed selectivity to register", rep.SelDrift)
+	}
+	if rep.ShiftDetected {
+		t.Errorf("SelDrift must stay informational at the zero threshold (%+v)", rep)
+	}
+
+	armed := NewDetector(ds.Store, optimized, Config{WindowSize: 100, MinObserved: 50, SelDriftThreshold: 0.25})
+	for _, q := range live {
+		armed.ObserveResult(armed.Observe(q), 0.95)
+	}
+	if rep := armed.Analyze(); !rep.ShiftDetected {
+		t.Errorf("armed threshold missed selectivity drift (%+v)", rep)
+	}
+}

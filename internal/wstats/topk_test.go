@@ -1,0 +1,126 @@
+package wstats
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSpaceSavingZipfDifferential is the randomized differential test of
+// the heavy-hitter sketch against an exact-count oracle: zipfian
+// fingerprint streams with many more distinct keys than sketch slots,
+// checking the space-saving guarantees — estimates bracket the truth
+// (true <= est <= true+err), any key with true count > n/k is monitored,
+// and the sketch's top ranking agrees with the oracle on the clearly
+// separated head.
+func TestSpaceSavingZipfDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		seed int64
+		s    float64 // zipf skew
+		keys int
+		k    int
+		n    int
+	}{
+		{seed: 1, s: 1.3, keys: 500, k: 48, n: 100_000},
+		{seed: 2, s: 1.1, keys: 2000, k: 64, n: 200_000},
+		{seed: 3, s: 2.0, keys: 300, k: 16, n: 50_000},
+		{seed: 4, s: 1.01, keys: 5000, k: 64, n: 150_000},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("seed%d_s%.2f_keys%d_k%d", tc.seed, tc.s, tc.keys, tc.k), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(tc.seed))
+			zipf := rand.NewZipf(rng, tc.s, 1, uint64(tc.keys-1))
+			sk := newSpaceSaving(tc.k)
+			exact := make(map[Fingerprint]uint64)
+			for i := 0; i < tc.n; i++ {
+				// Spread the raw zipf ranks through the fingerprint hash so
+				// map-iteration eviction order can't correlate with rank.
+				key := Fingerprint(fnvInt(fnvOffset, int(zipf.Uint64())))
+				exact[key]++
+				sk.observe(key, int64(i%1000), func() string { return "shape" })
+			}
+			if sk.n != uint64(tc.n) {
+				t.Fatalf("sketch saw %d items, streamed %d", sk.n, tc.n)
+			}
+			if len(sk.m) > tc.k {
+				t.Fatalf("sketch holds %d entries, capacity %d", len(sk.m), tc.k)
+			}
+
+			// Bracketing: every monitored estimate over-counts by at most
+			// its error bound.
+			for key, e := range sk.m {
+				truth := exact[key]
+				if e.count < truth {
+					t.Errorf("key %x: estimate %d below true count %d", key, e.count, truth)
+				}
+				if e.count-e.errBound > truth {
+					t.Errorf("key %x: estimate %d - err %d exceeds true count %d", key, e.count, e.errBound, truth)
+				}
+			}
+
+			// Completeness: every key with true count > n/k must be
+			// monitored (the classic space-saving guarantee).
+			floor := uint64(tc.n / tc.k)
+			for key, truth := range exact {
+				if truth > floor {
+					if _, ok := sk.m[key]; !ok {
+						t.Errorf("heavy key %x (true %d > n/k %d) not monitored", key, truth, floor)
+					}
+				}
+			}
+
+			// Head ranking: where the oracle's counts are separated by more
+			// than the sketch's max error, the sketch's ranking must agree.
+			type kc struct {
+				key Fingerprint
+				n   uint64
+			}
+			var truthTop []kc
+			for k, v := range exact {
+				truthTop = append(truthTop, kc{k, v})
+			}
+			sort.Slice(truthTop, func(i, j int) bool { return truthTop[i].n > truthTop[j].n })
+			var maxErr uint64
+			for _, e := range sk.m {
+				if e.errBound > maxErr {
+					maxErr = e.errBound
+				}
+			}
+			top := sk.top(len(truthTop))
+			for i := 0; i < 5 && i+1 < len(truthTop); i++ {
+				if truthTop[i].n <= truthTop[i+1].n+2*maxErr {
+					break // head not separated beyond error; ranking unconstrained
+				}
+				if i >= len(top) || top[i].key != truthTop[i].key {
+					t.Errorf("rank %d: sketch has %v, oracle has %x (true %d, maxErr %d)",
+						i, topKey(top, i), truthTop[i].key, truthTop[i].n, maxErr)
+				}
+			}
+		})
+	}
+}
+
+func topKey(top []*hhEntry, i int) interface{} {
+	if i < len(top) {
+		return fmt.Sprintf("%x", top[i].key)
+	}
+	return "<absent>"
+}
+
+func TestSpaceSavingExactBelowCapacity(t *testing.T) {
+	sk := newSpaceSaving(32)
+	for i := 0; i < 1000; i++ {
+		sk.observe(Fingerprint(i%10), int64(i), func() string { return fmt.Sprintf("s%d", i%10) })
+	}
+	for i := 0; i < 10; i++ {
+		est, errB, ok := sk.estimate(Fingerprint(i))
+		if !ok || est != 100 || errB != 0 {
+			t.Fatalf("key %d: est=%d err=%d ok=%v, want exactly 100 with zero error", i, est, errB, ok)
+		}
+	}
+	if got := sk.top(3); len(got) != 3 {
+		t.Fatalf("top(3) returned %d entries", len(got))
+	}
+}

@@ -1,0 +1,457 @@
+package wstats
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// Objective is one latency SLO: at least Target of queries answered
+// within Latency.
+type Objective struct {
+	Latency time.Duration
+	Target  float64
+}
+
+// Config tunes a Collector; zero values take defaults.
+type Config struct {
+	// TopK is the heavy-hitter sketch capacity (default 64 fingerprints).
+	TopK int
+	// SampleEvery feeds every Nth query to the stateful consumer (sketch,
+	// selectivity stats, latency histograms); 1 records everything
+	// (default 8). SLO counters and the slow-query check are always-on
+	// regardless — sampling only thins the heavyweight statistics.
+	// Queries beyond the slow threshold always reach the consumer.
+	SampleEvery int
+	// SlowLogSize bounds the slow-query exemplar ring (default 64).
+	SlowLogSize int
+	// SlowFactor sets the adaptive slow threshold at this multiple of the
+	// sampled p99 (default 1.5); MinSlow floors it. The threshold arms
+	// after MinSamples sampled queries (default 64).
+	SlowFactor float64
+	MinSlow    time.Duration
+	MinSamples int
+	// TraceInterval rate-limits exemplar trace captures for slow-log
+	// entries: at most one re-executed trace per interval (default 250ms).
+	// Entries between captures are logged without a trace.
+	TraceInterval time.Duration
+	// Objectives are the latency SLOs tracked with always-on good/bad
+	// counters (default: 1ms@99%, 10ms@99.9%).
+	Objectives []Objective
+	// Buffer is the consumer channel capacity (default 1024); overflow is
+	// dropped and counted, never waited on.
+	Buffer int
+}
+
+func (c *Config) fill() {
+	if c.TopK <= 0 {
+		c.TopK = 64
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 8
+	}
+	if c.SlowLogSize <= 0 {
+		c.SlowLogSize = 64
+	}
+	if c.SlowFactor <= 0 {
+		c.SlowFactor = 1.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 64
+	}
+	if c.TraceInterval <= 0 {
+		c.TraceInterval = 250 * time.Millisecond
+	}
+	if c.Objectives == nil {
+		c.Objectives = []Objective{
+			{Latency: time.Millisecond, Target: 0.99},
+			{Latency: 10 * time.Millisecond, Target: 0.999},
+		}
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 1024
+	}
+}
+
+// Binding connects a Collector to the store it observes: column names for
+// shape rendering, per-dimension domains for normalized bound histograms,
+// a live row count for selectivity, and a trace function the slow-query
+// log uses to capture exemplar explain-analyze traces. Serving layers
+// call Bind at open; every field is optional (nil/empty disables the
+// dependent statistic). The Trace function must execute outside the
+// collector's own recording path — LiveStore binds the core index's
+// ExecuteTrace and ShardedStore a non-recording router variant — so a
+// captured exemplar never re-records into the collector.
+type Binding struct {
+	DimNames           []string
+	DomainLo, DomainHi []int64
+	Rows               func() uint64
+	Trace              func(query.Query) *obs.QueryTrace
+}
+
+// sloState is one objective's always-on counters.
+type sloState struct {
+	thrNs  int64
+	target float64
+	good   atomic.Uint64
+	bad    atomic.Uint64
+}
+
+// item is one recorded query on its way to the consumer goroutine.
+type item struct {
+	q                       query.Query
+	ns                      int64
+	matched, scanned, bytes uint64
+	slow, sampled           bool
+}
+
+// Collector gathers workload statistics from the serving hot path. A nil
+// *Collector is a valid no-op (every method checks), mirroring the
+// nil-registry contract of internal/obs. Record is safe from any number
+// of goroutines and never blocks: the inline portion is a few uncontended
+// atomics, and the stateful portion runs on one consumer goroutine behind
+// a drop-on-overflow channel.
+type Collector struct {
+	cfg         Config
+	sampleEvery uint64
+
+	// Hot-path state: plain atomics, no pointers chased beyond c itself.
+	seq       atomic.Uint64
+	queries   atomic.Uint64
+	slowSeen  atomic.Uint64
+	dropped   atomic.Uint64
+	slowThrNs atomic.Int64
+	slo       []sloState
+
+	ch    chan item
+	flush chan chan struct{}
+	quit  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+
+	// mu guards the consumer-owned statistics against Snapshot and Bind.
+	// The consumer takes it per applied item; contention is rare (scrapes
+	// and stats commands), never on the query path.
+	mu       sync.Mutex
+	binding  Binding
+	sketch   *spaceSaving
+	dims     map[int]*dimStats
+	lat      latHist
+	sampled  uint64
+	rowsNow  uint64 // cached binding.Rows(), refreshed periodically
+	slowRing []SlowEntry
+	slowPos  int
+	slowN    int
+	lastTr   time.Time
+}
+
+// dimStats accumulates per-dimension filter statistics from the sampled
+// stream.
+type dimStats struct {
+	filters, eq, ge, le, rng, open uint64
+	// loHist/hiHist bucket present bound values by normalized position in
+	// the dimension's domain (needs a Binding with domains).
+	loHist, hiHist [posBuckets]uint64
+	// widthSum accumulates bounded ranges' widths as domain fractions.
+	widthSum float64
+	widthN   uint64
+	// Selectivity (matched/rows) is attributed per dimension only for
+	// single-filter queries, where it is unambiguous. selLog buckets
+	// -log2(selectivity): selLog[0] is sel > 1/2, selLog[31] ~ 2^-32,
+	// selLog[32] catches zero-match queries.
+	selLog [selBuckets]uint64
+	selSum float64
+	selN   uint64
+}
+
+const (
+	posBuckets = 16
+	selBuckets = 33
+)
+
+// New starts a Collector and its consumer goroutine. Close releases it;
+// a closed Collector keeps accepting Record calls (they drop into the
+// full channel or the counters) so shutdown ordering is a non-issue.
+func New(cfg Config) *Collector {
+	cfg.fill()
+	c := &Collector{
+		cfg:         cfg,
+		sampleEvery: uint64(cfg.SampleEvery),
+		slo:         make([]sloState, len(cfg.Objectives)),
+		ch:          make(chan item, cfg.Buffer),
+		flush:       make(chan chan struct{}),
+		quit:        make(chan struct{}),
+		done:        make(chan struct{}),
+		sketch:      newSpaceSaving(cfg.TopK),
+		dims:        make(map[int]*dimStats),
+		slowRing:    make([]SlowEntry, cfg.SlowLogSize),
+	}
+	for i, o := range cfg.Objectives {
+		c.slo[i].thrNs = int64(o.Latency)
+		c.slo[i].target = o.Target
+	}
+	go c.run()
+	return c
+}
+
+// Bind attaches store context (see Binding). Call before or during
+// serving; statistics depending on missing fields simply stay empty.
+func (c *Collector) Bind(b Binding) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.binding = b
+	if b.Rows != nil {
+		c.rowsNow = b.Rows()
+	}
+	c.mu.Unlock()
+}
+
+// Record accounts one served query: its shape, latency, result size, and
+// scan volume. Safe for concurrent use; never blocks; no-op on nil.
+func (c *Collector) Record(q query.Query, d time.Duration, matched, scanned, bytes uint64) {
+	if c == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	c.queries.Add(1)
+	for i := range c.slo {
+		if ns <= c.slo[i].thrNs {
+			c.slo[i].good.Add(1)
+		} else {
+			c.slo[i].bad.Add(1)
+		}
+	}
+	slow := false
+	if thr := c.slowThrNs.Load(); thr > 0 && ns >= thr {
+		slow = true
+		c.slowSeen.Add(1)
+	}
+	sampled := c.seq.Add(1)%c.sampleEvery == 0
+	if !sampled && !slow {
+		return
+	}
+	select {
+	case c.ch <- item{q: q, ns: ns, matched: matched, scanned: scanned, bytes: bytes, slow: slow, sampled: sampled}:
+	default:
+		c.dropped.Add(1)
+	}
+}
+
+// Sync blocks until every item recorded before the call has been applied
+// by the consumer — for deterministic tests and CLI commands; never
+// needed on the serving path. No-op on nil or after Close.
+func (c *Collector) Sync() {
+	if c == nil {
+		return
+	}
+	ack := make(chan struct{})
+	select {
+	case c.flush <- ack:
+		<-ack
+	case <-c.done:
+	}
+}
+
+// Close stops the consumer goroutine. Recording after Close stays safe
+// (and is dropped once the channel fills).
+func (c *Collector) Close() {
+	if c == nil {
+		return
+	}
+	c.once.Do(func() { close(c.quit) })
+	<-c.done
+}
+
+func (c *Collector) run() {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.quit:
+			return
+		case it := <-c.ch:
+			c.apply(it)
+		case ack := <-c.flush:
+			c.drain()
+			close(ack)
+		}
+	}
+}
+
+// drain applies everything already queued (used by Sync).
+func (c *Collector) drain() {
+	for {
+		select {
+		case it := <-c.ch:
+			c.apply(it)
+		default:
+			return
+		}
+	}
+}
+
+func (c *Collector) apply(it item) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if it.sampled {
+		c.sampled++
+		c.lat.record(it.ns)
+		names := c.binding.DimNames
+		c.sketch.observe(Key(it.q), it.ns, func() string { return Shape(it.q, names) })
+		c.applyDims(it)
+		// Periodically re-arm the adaptive slow threshold and refresh the
+		// cached row count (both too costly per item, both slow-moving).
+		if c.sampled%32 == 0 || (c.slowThrNs.Load() == 0 && c.sampled == uint64(c.cfg.MinSamples)) {
+			c.refreshThreshold()
+			if c.binding.Rows != nil {
+				c.rowsNow = c.binding.Rows()
+			}
+		}
+	}
+	if it.slow {
+		c.applySlow(it)
+	}
+}
+
+func (c *Collector) refreshThreshold() {
+	if c.lat.total < uint64(c.cfg.MinSamples) {
+		return
+	}
+	thr := int64(float64(c.lat.quantile(0.99)) * c.cfg.SlowFactor)
+	if min := int64(c.cfg.MinSlow); thr < min {
+		thr = min
+	}
+	if thr < 1 {
+		thr = 1
+	}
+	c.slowThrNs.Store(thr)
+}
+
+func (c *Collector) applyDims(it item) {
+	for _, f := range it.q.Filters {
+		d := c.dims[f.Dim]
+		if d == nil {
+			d = &dimStats{}
+			c.dims[f.Dim] = d
+		}
+		d.filters++
+		cls := classOf(f)
+		switch cls {
+		case classEq:
+			d.eq++
+		case classGe:
+			d.ge++
+		case classLe:
+			d.le++
+		case classRange:
+			d.rng++
+		default:
+			d.open++
+		}
+		lo, hi, okDom := c.domain(f.Dim)
+		if okDom {
+			if f.Lo != query.NoLo {
+				d.loHist[posBucket(f.Lo, lo, hi)]++
+			}
+			if f.Hi != query.NoHi {
+				d.hiHist[posBucket(f.Hi, lo, hi)]++
+			}
+			if cls == classRange {
+				width := float64(uint64(f.Hi)-uint64(f.Lo)) + 1
+				if span := float64(uint64(hi)-uint64(lo)) + 1; span > 0 {
+					frac := width / span
+					if frac > 1 {
+						frac = 1
+					}
+					d.widthSum += frac
+					d.widthN++
+				}
+			}
+		}
+	}
+	if len(it.q.Filters) == 1 && c.rowsNow > 0 {
+		d := c.dims[it.q.Filters[0].Dim]
+		sel := float64(it.matched) / float64(c.rowsNow)
+		if sel > 1 {
+			sel = 1
+		}
+		d.selSum += sel
+		d.selN++
+		d.selLog[selBucket(sel)]++
+	}
+}
+
+func (c *Collector) domain(dim int) (lo, hi int64, ok bool) {
+	b := c.binding
+	if dim < 0 || dim >= len(b.DomainLo) || dim >= len(b.DomainHi) {
+		return 0, 0, false
+	}
+	lo, hi = b.DomainLo[dim], b.DomainHi[dim]
+	return lo, hi, hi > lo
+}
+
+// posBucket maps a bound value to its normalized position bucket within
+// [lo, hi]; out-of-domain values clamp to the edge buckets.
+func posBucket(v, lo, hi int64) int {
+	if v <= lo {
+		return 0
+	}
+	if v >= hi {
+		return posBuckets - 1
+	}
+	frac := float64(uint64(v)-uint64(lo)) / float64(uint64(hi)-uint64(lo))
+	b := int(frac * posBuckets)
+	if b >= posBuckets {
+		b = posBuckets - 1
+	}
+	return b
+}
+
+func selBucket(sel float64) int {
+	if sel <= 0 {
+		return selBuckets - 1
+	}
+	b := int(math.Floor(-math.Log2(sel)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= selBuckets {
+		b = selBuckets - 1
+	}
+	return b
+}
+
+func (c *Collector) applySlow(it item) {
+	e := SlowEntry{
+		When:    time.Now(),
+		Query:   it.q.String(),
+		Seconds: float64(it.ns) / 1e9,
+		Matched: it.matched,
+		Rows:    it.scanned,
+		Bytes:   it.bytes,
+	}
+	// Exemplar traces re-execute the query through the bound non-recording
+	// trace path; rate-limit so a burst of slow queries costs one capture.
+	if tr := c.binding.Trace; tr != nil {
+		now := time.Now()
+		if c.lastTr.IsZero() || now.Sub(c.lastTr) >= c.cfg.TraceInterval {
+			c.lastTr = now
+			if t := tr(it.q); t != nil {
+				e.Trace = t.String()
+			}
+		}
+	}
+	c.slowRing[c.slowPos] = e
+	c.slowPos = (c.slowPos + 1) % len(c.slowRing)
+	if c.slowN < len(c.slowRing) {
+		c.slowN++
+	}
+}
