@@ -1,0 +1,69 @@
+// Regression tests for the AVG zero-match edge case: Result.Avg must
+// return 0 (never NaN) when no row matches — on a plain index, on a
+// LiveStore, and on a ShardedStore whose router pruned every shard (the
+// path where the merged result was never touched by any scan).
+package tsunami_test
+
+import (
+	"math"
+	"testing"
+
+	tsunami "repro"
+)
+
+// noMatch pins dim 0 far above any generated taxi value.
+var noMatch = tsunami.Filter{Dim: 0, Lo: 1 << 40, Hi: 1 << 41}
+
+func checkZeroAvg(t *testing.T, res tsunami.Result, what string) {
+	t.Helper()
+	if res.Count != 0 {
+		t.Fatalf("%s: want zero matches, got count %d", what, res.Count)
+	}
+	if avg := res.Avg(); avg != 0 || math.IsNaN(avg) {
+		t.Fatalf("%s: zero-match Avg must be 0, got %v", what, avg)
+	}
+}
+
+func TestAvgZeroMatchIndex(t *testing.T) {
+	ds := tsunami.GenerateTaxi(2000, 1)
+	work := tsunami.WorkloadFor(ds, 10, 2)
+	idx := tsunami.New(ds.Store, work, tsunami.Options{OptimizerIters: 2, MaxOptQueries: 16})
+	checkZeroAvg(t, idx.Execute(tsunami.Sum(1, noMatch)), "index")
+}
+
+func TestAvgZeroMatchLiveStore(t *testing.T) {
+	ds := tsunami.GenerateTaxi(2000, 1)
+	work := tsunami.WorkloadFor(ds, 10, 2)
+	idx := tsunami.New(ds.Store, work, tsunami.Options{OptimizerIters: 2, MaxOptQueries: 16})
+	ls := tsunami.NewLiveStore(idx, work, tsunami.LiveOptions{})
+	defer ls.Close()
+
+	checkZeroAvg(t, ls.Execute(tsunami.Sum(1, noMatch)), "live store")
+
+	// Zero-match must also hold against buffered-but-unmerged rows.
+	ls.Insert(ds.Store.Row(0, nil))
+	checkZeroAvg(t, ls.Execute(tsunami.Sum(1, noMatch)), "live store with buffer")
+}
+
+func TestAvgZeroMatchShardedAllPruned(t *testing.T) {
+	ds := tsunami.GenerateTaxi(2000, 1)
+	work := tsunami.WorkloadFor(ds, 10, 2)
+	ss, err := tsunami.NewShardedStore(ds.Store, work,
+		tsunami.Options{OptimizerIters: 2, MaxOptQueries: 16},
+		tsunami.ShardedOptions{Shards: 4, Learned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+
+	// The learned range partitioner cuts dim 0, so a filter above every
+	// cut prunes all four shards: the router returns the zero Result
+	// without any shard executing.
+	res := ss.Execute(tsunami.Sum(1, noMatch))
+	checkZeroAvg(t, res, "sharded all-pruned")
+
+	st := ss.Stats()
+	if st.ShardsPruned == 0 {
+		t.Fatalf("expected the router to prune shards for an out-of-range filter; stats %+v", st)
+	}
+}

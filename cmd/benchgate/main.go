@@ -17,14 +17,22 @@
 // instead of gating, which is how the reference numbers are refreshed
 // after an intentional perf change (commit the result).
 //
-// Two purely relative gates need no baseline file (immune to
-// runner-hardware variance): -min-speedup requires kernel benchmarks to
-// beat their scalar twins by a factor, measured within one run; and
-// -max-overhead gates the `overhead-pct` metric that differential
-// benchmarks (BenchmarkObsOverhead) report — CI's observability budget:
+// The relative gates need no baseline file (immune to runner-hardware
+// variance): -min-speedup requires kernel benchmarks to beat their
+// scalar twins by a factor, measured within one run; the custom-metric
+// gates read metrics benchmarks report via b.ReportMetric and compare
+// them against a bound. -max-overhead gates `overhead-pct` (the
+// differential BenchmarkObsOverhead — CI's observability budget);
+// -min-hit-pct, -min-cache-speedup, -min-shed-pct, and -max-shed-p99-x
+// gate the serving-discipline metrics BenchmarkTraffic reports
+// (`hit-pct`, `cache-speedup-x`, `shed-pct`, `shed-p99-x`):
 //
 //	go test -run '^$' -bench BenchmarkObsOverhead -benchtime 1x . | \
 //	    go run ./cmd/benchgate -max-overhead 2
+//
+//	go test -run '^$' -bench BenchmarkTraffic -benchtime 1x . | \
+//	    go run ./cmd/benchgate -min-hit-pct 50 -min-cache-speedup 5 \
+//	        -min-shed-pct 10 -max-shed-p99-x 10
 //
 // A second mode compares two committed tsunami-bench JSON artifacts and
 // prints the metric-by-metric delta (the repo's benchmark timeline):
@@ -73,6 +81,10 @@ func main() {
 		kernelPrefix = flag.String("kernel-prefix", "BenchmarkScanKernels", "benchmark prefix of the kernel side of the speedup gate")
 		scalarPrefix = flag.String("scalar-prefix", "BenchmarkScanScalar", "benchmark prefix of the scalar side of the speedup gate")
 		maxOverhead  = flag.Float64("max-overhead", 0, "fail when a benchmark's reported overhead-pct metric exceeds this many percent (0 disables)")
+		minHitPct    = flag.Float64("min-hit-pct", 0, "fail when a benchmark's reported hit-pct metric is below this many percent (0 disables)")
+		minCacheX    = flag.Float64("min-cache-speedup", 0, "fail when a benchmark's reported cache-speedup-x metric is below this factor (0 disables)")
+		minShedPct   = flag.Float64("min-shed-pct", 0, "fail when a benchmark's reported shed-pct metric is below this many percent (0 disables)")
+		maxShedP99X  = flag.Float64("max-shed-p99-x", 0, "fail when a benchmark's reported shed-p99-x metric exceeds this factor (0 disables)")
 		compare      = flag.Bool("compare", false, "compare two tsunami-bench JSON reports (old new) and print the delta table")
 	)
 	flag.Parse()
@@ -87,11 +99,12 @@ func main() {
 		}
 		return
 	}
-	// The absolute baseline is optional when a purely relative gate
-	// (-min-speedup, -max-overhead) is requested: relative gates compare
-	// benchmarks within one run and need no reference file.
-	if *baselinePath == "" && *minSpeedup == 0 && *maxOverhead == 0 {
-		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required (or a relative gate: -min-speedup / -max-overhead)")
+	// The absolute baseline is optional when a relative or custom-metric
+	// gate is requested: those compare within one run (or against a
+	// stated bound) and need no reference file.
+	anyMetricGate := *maxOverhead > 0 || *minHitPct > 0 || *minCacheX > 0 || *minShedPct > 0 || *maxShedP99X > 0
+	if *baselinePath == "" && *minSpeedup == 0 && !anyMetricGate {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required (or a relative gate: -min-speedup / a custom-metric gate)")
 		os.Exit(2)
 	}
 	if *baselinePath == "" && *update {
@@ -99,7 +112,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	observed, overheads, err := parseBench(os.Stdin)
+	observed, metrics, err := parseBench(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
@@ -189,46 +202,67 @@ func main() {
 			failed++
 		}
 	}
-	// Overhead gate: benchmarks measure the instrumented-vs-bare slowdown
-	// differentially (paired timed passes milliseconds apart, median of
-	// per-pair ratios — see BenchmarkObsOverhead) and report it as an
-	// `overhead-pct` metric; the gate reads the metric and fails when it
-	// exceeds the budget. Measuring the two sides as separate benchmark
-	// runs and comparing aggregates is NOT robust: a multi-second noisy
-	// window on a loaded runner lands asymmetrically and fakes (or masks)
-	// an overhead several times the real one. With -count N the gate takes
-	// the median of the runs' reported values.
-	if *maxOverhead > 0 {
-		gated := 0
-		names := make([]string, 0, len(overheads))
-		for name := range overheads {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			vals := append([]float64(nil), overheads[name]...)
-			sort.Float64s(vals)
-			overhead := vals[len(vals)/2]
-			if len(vals)%2 == 0 {
-				overhead = (vals[len(vals)/2-1] + vals[len(vals)/2]) / 2
-			}
-			gated++
-			if overhead > *maxOverhead {
-				fmt.Printf("FAIL     %-40s %+.2f%% over bare, budget %.2f%%\n", name, overhead, *maxOverhead)
-				failed++
-			} else {
-				fmt.Printf("ok       %-40s %+.2f%% over bare (budget %.2f%%)\n", name, overhead, *maxOverhead)
-			}
-		}
-		if gated == 0 {
-			fmt.Println("benchgate: -max-overhead set but no benchmark reported an overhead-pct metric")
-			failed++
-		}
-	}
+	// Custom-metric gates: benchmarks report a figure via b.ReportMetric
+	// (the overhead-pct differential — see BenchmarkObsOverhead — or the
+	// serving-discipline figures BenchmarkTraffic reports) and the gate
+	// compares it against a stated bound. Measuring such figures inside
+	// one benchmark and gating the reported metric is deliberate:
+	// comparing two separate benchmark runs is NOT robust — a
+	// multi-second noisy window on a loaded runner lands asymmetrically
+	// and fakes (or masks) a regression several times the real one. With
+	// -count N each gate takes the median of the runs' reported values.
+	failed += gateMetric(metrics, "overhead-pct", *maxOverhead, false, "-max-overhead")
+	failed += gateMetric(metrics, "hit-pct", *minHitPct, true, "-min-hit-pct")
+	failed += gateMetric(metrics, "cache-speedup-x", *minCacheX, true, "-min-cache-speedup")
+	failed += gateMetric(metrics, "shed-pct", *minShedPct, true, "-min-shed-pct")
+	failed += gateMetric(metrics, "shed-p99-x", *maxShedP99X, false, "-max-shed-p99-x")
 	if failed > 0 {
 		fmt.Printf("benchgate: %d benchmark(s) regressed past tolerance\n", failed)
 		os.Exit(1)
 	}
+}
+
+// gateMetric gates every benchmark that reported the given custom metric
+// against bound (a floor when wantMin, a ceiling otherwise), taking the
+// median when -count repeated the benchmark. A zero bound disables the
+// gate. A configured gate with no benchmark reporting the metric is a
+// failure: a renamed or deleted benchmark must not silently pass CI.
+func gateMetric(metrics map[string]map[string][]float64, unit string, bound float64, wantMin bool, flagName string) int {
+	if bound == 0 {
+		return 0
+	}
+	byName := metrics[unit]
+	if len(byName) == 0 {
+		fmt.Printf("benchgate: %s set but no benchmark reported a %s metric\n", flagName, unit)
+		return 1
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := 0
+	for _, name := range names {
+		vals := append([]float64(nil), byName[name]...)
+		sort.Float64s(vals)
+		got := vals[len(vals)/2]
+		if len(vals)%2 == 0 {
+			got = (vals[len(vals)/2-1] + vals[len(vals)/2]) / 2
+		}
+		bad := got > bound
+		rel := "<="
+		if wantMin {
+			bad = got < bound
+			rel = ">="
+		}
+		if bad {
+			fmt.Printf("FAIL     %-40s %.2f %s, want %s %.2f\n", name, got, unit, rel, bound)
+			failed++
+		} else {
+			fmt.Printf("ok       %-40s %.2f %s (want %s %.2f)\n", name, got, unit, rel, bound)
+		}
+	}
+	return failed
 }
 
 // parseBench extracts "Benchmark<Name>[-P] <N> <ns> ns/op ..." lines,
@@ -236,12 +270,13 @@ func main() {
 // "#01"-style suffixes go test appends when a benchmark runs b.Run with
 // one name several times. Repeated runs of one benchmark keep the
 // fastest ns/op (the standard de-noising for the absolute and speedup
-// gates). The second map collects every value of the custom
-// `overhead-pct` metric differential benchmarks report, in input order,
-// for the -max-overhead gate.
-func parseBench(r *os.File) (map[string]float64, map[string][]float64, error) {
+// gates). The second map collects every other "<value> <unit>" column —
+// the custom metrics benchmarks report via b.ReportMetric — as
+// unit -> benchmark name -> values in input order, for the
+// custom-metric gates.
+func parseBench(r *os.File) (map[string]float64, map[string]map[string][]float64, error) {
 	out := make(map[string]float64)
-	overheads := make(map[string][]float64)
+	metrics := make(map[string]map[string][]float64)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -265,8 +300,7 @@ func parseBench(r *os.File) (map[string]float64, map[string][]float64, error) {
 		// Units follow their values column-wise: "<value> ns/op",
 		// "<value> overhead-pct", ...
 		for i := 2; i < len(fields); i++ {
-			switch fields[i] {
-			case "ns/op":
+			if fields[i] == "ns/op" {
 				ns, err := strconv.ParseFloat(fields[i-1], 64)
 				if err != nil {
 					return nil, nil, fmt.Errorf("bad ns/op value in %q: %v", line, err)
@@ -274,16 +308,27 @@ func parseBench(r *os.File) (map[string]float64, map[string][]float64, error) {
 				if prev, ok := out[name]; !ok || ns < prev {
 					out[name] = ns
 				}
-			case "overhead-pct":
-				pct, err := strconv.ParseFloat(fields[i-1], 64)
-				if err != nil {
-					return nil, nil, fmt.Errorf("bad overhead-pct value in %q: %v", line, err)
-				}
-				overheads[name] = append(overheads[name], pct)
+				continue
 			}
+			// Any other unit column is a custom metric; a column that
+			// does not parse as a number (e.g. the iteration count
+			// followed by a unit-less token) is not one.
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			if _, err := strconv.ParseFloat(fields[i], 64); err == nil {
+				continue
+			}
+			byName := metrics[fields[i]]
+			if byName == nil {
+				byName = make(map[string][]float64)
+				metrics[fields[i]] = byName
+			}
+			byName[name] = append(byName[name], v)
 		}
 	}
-	return out, overheads, sc.Err()
+	return out, metrics, sc.Err()
 }
 
 // writeBaseline emits a fresh baseline file from the observed run.

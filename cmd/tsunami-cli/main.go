@@ -72,6 +72,7 @@ import (
 	"syscall"
 	"time"
 
+	tsunami "repro"
 	"repro/internal/auggrid"
 	"repro/internal/colstore"
 	"repro/internal/core"
@@ -92,6 +93,11 @@ type session struct {
 	idx   *core.Tsunami  // offline mode only
 	live  *live.Store    // live mode only
 	shard *sharded.Store // sharded mode only
+
+	// ex fronts whichever target is active with the Executor's admission
+	// control: shell queries go through Serve, so -max-inflight sheds and
+	// -max-rows/-max-bytes reject over-budget queries at plan time.
+	ex *tsunami.Executor
 
 	// metrics is the registry every mode records into; the live and
 	// sharded stores instrument themselves, the offline index is wrapped
@@ -124,19 +130,21 @@ func (s *session) index() *core.Tsunami {
 	return s.idx
 }
 
-func (s *session) execute(q query.Query) colstore.ScanResult {
-	if s.live != nil {
-		return s.live.Execute(q)
-	}
-	if s.shard != nil {
-		return s.shard.Execute(q)
+func (s *session) execute(q query.Query) (colstore.ScanResult, error) {
+	if s.live != nil || s.shard != nil {
+		// The serving layer records its own metrics and workload stats;
+		// the Executor adds admission on top.
+		return s.ex.Serve(q, tsunami.PriorityInteractive)
 	}
 	start := time.Now()
-	res := s.idx.Execute(q)
+	res, err := s.ex.Serve(q, tsunami.PriorityInteractive)
+	if err != nil {
+		return res, err
+	}
 	d := time.Since(start)
 	s.qm.Observe(d, res.PointsScanned, res.BytesTouched)
 	s.wl.Record(q, d, res.Count, res.PointsScanned, res.BytesTouched)
-	return res
+	return res, nil
 }
 
 // executeTrace answers q with an explain-analyze trace, feeding the same
@@ -192,6 +200,10 @@ func main() {
 		rebEvery  = flag.Duration("rebalance-every", 0, "shard imbalance check interval, 0 = no auto-rebalance (-shards with -partition range)")
 		rebSkew   = flag.Float64("rebalance-skew", 2, "rebalance when the largest shard exceeds this multiple of the mean")
 		metrics   = flag.String("metrics", "", "serve /metrics, /statsz, and /debug/pprof/ on this address (e.g. 127.0.0.1:9100)")
+		cacheSize = flag.Int("cache", 4096, "epoch-keyed result cache entries, 0 = off (-live, -shards)")
+		maxFlight = flag.Int("max-inflight", 0, "shed queries beyond this many in flight, 0 = no cap")
+		maxRows   = flag.Uint64("max-rows", 0, "reject queries whose plan estimates more scanned rows, 0 = no budget")
+		maxBytes  = flag.Uint64("max-bytes", 0, "reject queries whose plan estimates more touched bytes, 0 = no budget")
 	)
 	flag.Parse()
 	if *liveMode && *shards > 0 {
@@ -221,6 +233,7 @@ func main() {
 	liveCfg := live.Config{
 		MergeThreshold:       *mergeAt,
 		RegionMergeThreshold: *regionAt,
+		CacheEntries:         *cacheSize,
 		Metrics:              reg,
 		Workload:             wl,
 	}
@@ -228,14 +241,15 @@ func main() {
 		fatal(fmt.Errorf("-rebalance-every needs -shards with -partition range"))
 	}
 	shardCfg := sharded.Config{
-		Shards:      *shards,
-		Dim:         *partDim,
-		Learned:     *partition != "hash",
-		Metrics:     reg,
-		Workload:    wl,
-		Live:        liveCfg,
-		SnapshotDir: *snapDir,
-		OnEvent:     printShardEvent,
+		Shards:       *shards,
+		Dim:          *partDim,
+		Learned:      *partition != "hash",
+		CacheEntries: *cacheSize,
+		Metrics:      reg,
+		Workload:     wl,
+		Live:         liveCfg,
+		SnapshotDir:  *snapDir,
+		OnEvent:      printShardEvent,
 		Rebalance: sharded.RebalanceConfig{
 			CheckInterval: *rebEvery,
 			MaxSkew:       *rebSkew,
@@ -342,6 +356,24 @@ func main() {
 		})
 	}
 
+	// Every mode serves through one Executor so the admission flags apply
+	// uniformly (and the tsunami_admission_* fields always exist on
+	// /statsz, at 0 when admission is off). The serving stores instrument
+	// and record workload stats themselves; plain mode records in execute.
+	admission := tsunami.AdmissionConfig{
+		MaxInFlight: *maxFlight,
+		MaxRows:     *maxRows,
+		MaxBytes:    *maxBytes,
+	}
+	switch {
+	case s.live != nil:
+		s.ex = tsunami.NewExecutorSource(s.live, tsunami.ExecutorOptions{Metrics: reg, Admission: admission})
+	case s.shard != nil:
+		s.ex = tsunami.NewExecutorSource(s.shard, tsunami.ExecutorOptions{Metrics: reg, Admission: admission})
+	default:
+		s.ex = tsunami.NewExecutor(s.idx, tsunami.ExecutorOptions{Metrics: reg, Admission: admission})
+	}
+
 	// The observability endpoint binds synchronously so a bad address
 	// fails loudly instead of the operator scraping a port nothing holds.
 	var srv *http.Server
@@ -365,6 +397,7 @@ func main() {
 	// collector, then let in-flight scrapes finish before the HTTP server
 	// goes away. Ctrl-C on a plain offline shell just stops the endpoint.
 	var finals []func()
+	finals = append(finals, s.ex.Close)
 	switch {
 	case s.live != nil:
 		ls := s.live
@@ -654,7 +687,11 @@ func eval(s *session, names []string, line string) bool {
 			return false
 		}
 		start := time.Now()
-		res := s.execute(q)
+		res, err := s.execute(q)
+		if err != nil {
+			fmt.Println(err)
+			return false
+		}
 		elapsed := time.Since(start)
 		if verb == "sum" {
 			fmt.Printf("sum=%d count=%d avg=%.2f (scanned %d rows in %v)\n", res.Sum, res.Count, res.Avg(), res.PointsScanned, elapsed)
@@ -705,7 +742,23 @@ func printStats(s *session) {
 		fmtRate(float64(delta.Counters[obs.MScanBytes])/1e9, dt, "GB/s"))
 	fmt.Printf("  %-12s %d rows buffered, %s ingested | ingest p99 %s\n", "ingest",
 		s.buffered(), fmtCount(snap.Counters[obs.MLiveIngestRows]),
-		fmtSec(snap.Hists[obs.MLiveIngestLatency].Quantile(0.99)))
+		fmtQuantile(snap.Hists[obs.MLiveIngestLatency], 0.99))
+	if hits, ok := snap.Counters[obs.MCacheHits]; ok {
+		misses := snap.Counters[obs.MCacheMisses]
+		rate := "-"
+		if total := hits + misses; total > 0 {
+			rate = fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(total))
+		}
+		fmt.Printf("  %-12s %s hits, %s misses (%s hit rate), %d entries, %s evictions\n", "cache",
+			fmtCount(hits), fmtCount(misses), rate,
+			int64(snap.Gauges[obs.MCacheEntries]), fmtCount(snap.Counters[obs.MCacheEvictions]))
+	}
+	if admitted, ok := snap.Counters[obs.MAdmissionAdmitted]; ok {
+		fmt.Printf("  %-12s %s admitted, %s shed, %s over budget, %d in flight\n", "admission",
+			fmtCount(admitted), fmtCount(snap.Counters[obs.MAdmissionShed]),
+			fmtCount(snap.Counters[obs.MAdmissionBudget]),
+			int64(snap.Gauges[obs.MAdmissionInFlight]))
+	}
 	fmt.Printf("  %-12s %d merges, %d reoptimizations (%d detector fires), %d snapshots", "maintenance",
 		snap.Counters[obs.MLiveMerges], snap.Counters[obs.MLiveReoptimizes],
 		snap.Counters[obs.MLiveDetectorFires], snap.Counters[obs.MLiveSnapshots])
@@ -761,8 +814,18 @@ func fmtQuantiles(h obs.HistSnapshot) string {
 		return "no queries yet"
 	}
 	return fmt.Sprintf("p50 %s  p95 %s  p99 %s  p999 %s",
-		fmtSec(h.Quantile(0.5)), fmtSec(h.Quantile(0.95)),
-		fmtSec(h.Quantile(0.99)), fmtSec(h.Quantile(0.999)))
+		fmtQuantile(h, 0.5), fmtQuantile(h, 0.95),
+		fmtQuantile(h, 0.99), fmtQuantile(h, 0.999))
+}
+
+// fmtQuantile renders one quantile, or "-" when the histogram has no
+// samples yet (an empty histogram has no defined quantiles).
+func fmtQuantile(h obs.HistSnapshot, q float64) string {
+	v, ok := h.QuantileOK(q)
+	if !ok {
+		return "-"
+	}
+	return fmtSec(v)
 }
 
 func fmtSec(sec float64) string {

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"errors"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestHelperCLIMain is not a test: it is the child process the bind-
+// failure test re-execs, running the real main() with arguments passed
+// through the environment.
+func TestHelperCLIMain(t *testing.T) {
+	if os.Getenv("TSUNAMI_CLI_HELPER") != "1" {
+		t.Skip("helper process for TestMetricsBindFailureExitsNonZero")
+	}
+	os.Args = append([]string{"tsunami-cli"}, strings.Fields(os.Getenv("TSUNAMI_CLI_ARGS"))...)
+	main()
+}
+
+// TestMetricsBindFailureExitsNonZero pre-binds a listener and starts the
+// CLI with -metrics pointed at the occupied address: every serve mode
+// must report the listen error and exit non-zero — not come up serving
+// with no endpoint while the operator scrapes a port someone else holds.
+func TestMetricsBindFailureExitsNonZero(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	modes := map[string]string{
+		"live":    "-live",
+		"sharded": "-shards 2",
+		"plain":   "",
+	}
+	for name, mode := range modes {
+		t.Run(name, func(t *testing.T) {
+			args := "-dataset uniform -rows 500 -dims 3 -metrics " + addr
+			if mode != "" {
+				args += " " + mode
+			}
+			cmd := exec.Command(os.Args[0], "-test.run", "TestHelperCLIMain")
+			cmd.Env = append(os.Environ(), "TSUNAMI_CLI_HELPER=1", "TSUNAMI_CLI_ARGS="+args)
+			out, err := cmd.CombinedOutput()
+			var ee *exec.ExitError
+			if !errors.As(err, &ee) {
+				t.Fatalf("CLI with an occupied -metrics address exited cleanly; output:\n%s", out)
+			}
+			if code := ee.ExitCode(); code != 1 {
+				t.Fatalf("exit code %d, want 1; output:\n%s", code, out)
+			}
+			if !strings.Contains(string(out), "tsunami-cli:") || !strings.Contains(string(out), "in use") {
+				t.Fatalf("expected a listen error on stderr, got:\n%s", out)
+			}
+		})
+	}
+}

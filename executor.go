@@ -1,8 +1,11 @@
 package tsunami
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/colstore"
@@ -66,6 +69,113 @@ type ExecutorOptions struct {
 	// WorkloadStats.Bind for named dimensions, domains, and slow-query
 	// exemplar traces.
 	Workload *WorkloadStats
+	// Admission, when any field is set, turns on admission control for
+	// queries served through Serve: bounded in-flight load with
+	// priority-classed shedding, and per-query row/byte budgets enforced
+	// at plan time. Execute/ExecuteBatch bypass admission (internal and
+	// maintenance callers must not be shed); route client traffic through
+	// Serve.
+	Admission AdmissionConfig
+}
+
+// AdmissionConfig bounds what the Executor accepts through Serve.
+type AdmissionConfig struct {
+	// MaxInFlight caps concurrently served queries. When the cap is hit,
+	// Serve sheds instead of queueing — under overload an unbounded queue
+	// only converts shed requests into slow ones, and every admitted
+	// query's latency degrades with queue depth. Priority classes reserve
+	// headroom: batch traffic sheds at half the cap, normal traffic at
+	// 7/8 of it, interactive traffic only at the full cap — so a burst of
+	// background work cannot starve interactive queries. 0 disables the
+	// in-flight cap.
+	MaxInFlight int
+	// MaxRows, when > 0, rejects (before executing) any query whose
+	// plan-time cost estimate — Grid Tree routing plus each region grid's
+	// physical range plan, no scanning — exceeds this many rows.
+	MaxRows uint64
+	// MaxBytes, when > 0, is the same budget in estimated bytes touched.
+	MaxBytes uint64
+}
+
+func (a AdmissionConfig) enabled() bool {
+	return a.MaxInFlight > 0 || a.MaxRows > 0 || a.MaxBytes > 0
+}
+
+// Priority classes order queries for admission under load. The zero
+// value is PriorityNormal, so plain callers need no annotation.
+type Priority uint8
+
+const (
+	// PriorityNormal is regular client traffic; it sheds when in-flight
+	// load passes 7/8 of MaxInFlight.
+	PriorityNormal Priority = iota
+	// PriorityBatch is background/bulk traffic; it sheds first, at half
+	// of MaxInFlight, keeping headroom for the classes above.
+	PriorityBatch
+	// PriorityInteractive is latency-critical traffic; it sheds only at
+	// the full MaxInFlight cap.
+	PriorityInteractive
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityBatch:
+		return "batch"
+	case PriorityInteractive:
+		return "interactive"
+	default:
+		return "normal"
+	}
+}
+
+// ErrShed reports a query rejected by load-shedding: in-flight load had
+// reached the query's priority-class watermark. The caller may retry
+// with backoff; the result was never computed.
+var ErrShed = errors.New("tsunami: query shed (serving at capacity)")
+
+// ErrOverBudget reports a query rejected at plan time: its estimated
+// scan cost exceeded the configured per-query row or byte budget. Wrapped
+// errors carry the estimate; match with errors.Is.
+var ErrOverBudget = errors.New("tsunami: query over plan-time budget")
+
+// costEstimator is implemented by indexes that can bound a query's scan
+// cost at plan time without executing it (core.Tsunami via its range
+// plans; LiveStore and ShardedStore by delegation). Budgets are enforced
+// only against indexes that implement it.
+type costEstimator interface {
+	EstimateCost(q query.Query) (rows, bytes uint64)
+}
+
+// admission is the Executor's load-shedding state: one atomic in-flight
+// counter checked against per-priority watermarks, plus the plan-time
+// budgets.
+type admission struct {
+	maxInFlight int64
+	maxRows     uint64
+	maxBytes    uint64
+	inFlight    atomic.Int64
+}
+
+// limit is the in-flight watermark for a priority class (see
+// AdmissionConfig.MaxInFlight); 0 means no cap.
+func (a *admission) limit(pri Priority) int64 {
+	m := a.maxInFlight
+	if m <= 0 {
+		return 0
+	}
+	var l int64
+	switch pri {
+	case PriorityBatch:
+		l = m / 2
+	case PriorityInteractive:
+		l = m
+	default:
+		l = m - m/8
+	}
+	if l < 1 {
+		l = 1
+	}
+	return l
 }
 
 // execMetrics caches the Executor's resolved instruments so the record
@@ -76,6 +186,13 @@ type execMetrics struct {
 	latency    *obs.Histogram
 	waveSize   *obs.Histogram
 	tasks      *obs.Counter
+	// Admission counters are registered eagerly (they appear on /statsz
+	// at 0 even before admission control sees traffic, or when it is
+	// disabled) so dashboards and smoke tests can rely on the fields.
+	admAdmitted *obs.Counter
+	admShed     *obs.Counter
+	admBudget   *obs.Counter
+	admInFlight *obs.Gauge
 }
 
 func newExecMetrics(r *obs.Registry) *execMetrics {
@@ -83,11 +200,15 @@ func newExecMetrics(r *obs.Registry) *execMetrics {
 		return nil
 	}
 	return &execMetrics{
-		queueWait:  r.DurationHistogram(obs.MExecQueueWait),
-		queueDepth: r.Gauge(obs.MExecQueueDepth),
-		latency:    r.DurationHistogram(obs.MExecLatency),
-		waveSize:   r.Histogram(obs.MExecWaveSize),
-		tasks:      r.Counter(obs.MExecTasks),
+		queueWait:   r.DurationHistogram(obs.MExecQueueWait),
+		queueDepth:  r.Gauge(obs.MExecQueueDepth),
+		latency:     r.DurationHistogram(obs.MExecLatency),
+		waveSize:    r.Histogram(obs.MExecWaveSize),
+		tasks:       r.Counter(obs.MExecTasks),
+		admAdmitted: r.Counter(obs.MAdmissionAdmitted),
+		admShed:     r.Counter(obs.MAdmissionShed),
+		admBudget:   r.Counter(obs.MAdmissionBudget),
+		admInFlight: r.Gauge(obs.MAdmissionInFlight),
 	}
 }
 
@@ -112,6 +233,7 @@ type Executor struct {
 	maxWave  int
 	metrics  *execMetrics      // nil when instrumentation is off
 	workload *wstats.Collector // nil when workload stats are off
+	adm      *admission        // nil when admission control is off
 
 	// jobs carries closures so one pool serves both granularities: whole
 	// queries (ExecuteBatch) and a single query's region-draining tasks
@@ -160,6 +282,13 @@ func newExecutor(source func() Index, o ExecutorOptions) *Executor {
 		metrics:  newExecMetrics(o.Metrics),
 		workload: o.Workload,
 		jobs:     make(chan execJob, 2*workers),
+	}
+	if o.Admission.enabled() {
+		e.adm = &admission{
+			maxInFlight: int64(o.Admission.MaxInFlight),
+			maxRows:     o.Admission.MaxRows,
+			maxBytes:    o.Admission.MaxBytes,
+		}
 	}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -249,6 +378,67 @@ func (e *Executor) Execute(q Query) Result {
 		w.Record(q, d, res.Count, res.PointsScanned, res.BytesTouched)
 	}
 	return res
+}
+
+// Serve answers one query under admission control: plan-time row/byte
+// budgets are checked first (nothing is scanned for a rejected query),
+// then the in-flight watermark for the query's priority class — at
+// capacity the query is shed immediately rather than queued, so admitted
+// queries keep bounded latency while overload turns into fast ErrShed
+// returns the client can retry with backoff. Without an Admission
+// configuration Serve is exactly Execute. Shed and budget-rejected
+// queries are counted in the registry (tsunami_admission_*).
+func (e *Executor) Serve(q Query, pri Priority) (Result, error) {
+	a := e.adm
+	if a == nil {
+		return e.Execute(q), nil
+	}
+	m := e.metrics
+	if a.maxRows > 0 || a.maxBytes > 0 {
+		if ce, ok := e.source().(costEstimator); ok {
+			rows, bytes := ce.EstimateCost(q)
+			if a.maxRows > 0 && rows > a.maxRows {
+				if m != nil {
+					m.admBudget.Inc()
+				}
+				return Result{}, fmt.Errorf("%w: plan estimates %d rows scanned, budget %d", ErrOverBudget, rows, a.maxRows)
+			}
+			if a.maxBytes > 0 && bytes > a.maxBytes {
+				if m != nil {
+					m.admBudget.Inc()
+				}
+				return Result{}, fmt.Errorf("%w: plan estimates %d bytes touched, budget %d", ErrOverBudget, bytes, a.maxBytes)
+			}
+		}
+	}
+	if lim := a.limit(pri); lim > 0 {
+		if n := a.inFlight.Add(1); n > lim {
+			a.inFlight.Add(-1)
+			if m != nil {
+				m.admShed.Inc()
+			}
+			return Result{}, fmt.Errorf("%w: %d %s-priority queries in flight (limit %d)", ErrShed, n-1, pri, lim)
+		}
+		if m != nil {
+			m.admInFlight.Add(1)
+		}
+		defer func() {
+			a.inFlight.Add(-1)
+			if m != nil {
+				m.admInFlight.Add(-1)
+			}
+		}()
+		// Yield once between admission and execution. A burst of arrivals
+		// all reach the in-flight counter before any of them starts
+		// scanning, so the watermark sees the burst's true concurrency;
+		// without this, on a single P, back-to-back sub-quantum queries
+		// serialize and the cap can never engage.
+		runtime.Gosched()
+	}
+	if m != nil {
+		m.admAdmitted.Inc()
+	}
+	return e.Execute(q), nil
 }
 
 // ExecuteBatch answers every query, fanning them across the worker pool,

@@ -240,6 +240,7 @@ func All(w io.Writer, o Options) {
 	Sharded(w, o)
 	Rebalance(w, o)
 	Obs(w, o)
+	Traffic(w, o)
 }
 
 // Run dispatches an experiment by id ("tab3", "fig7", ..., "all").
@@ -279,10 +280,12 @@ func Run(w io.Writer, id string, o Options) error {
 		Rebalance(w, o)
 	case "obs":
 		Obs(w, o)
+	case "traffic":
+		Traffic(w, o)
 	case "all":
 		All(w, o)
 	default:
-		return fmt.Errorf("unknown experiment %q (tab3, tab4, fig7, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, ablation, scan, concurrency, sharded, rebalance, obs, all)", id)
+		return fmt.Errorf("unknown experiment %q (tab3, tab4, fig7, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, ablation, scan, concurrency, sharded, rebalance, obs, traffic, all)", id)
 	}
 	return nil
 }

@@ -64,6 +64,9 @@ var jsonRunners = map[string]func(Options) (any, error){
 	"obs": func(o Options) (any, error) {
 		return RunObs(o)
 	},
+	"traffic": func(o Options) (any, error) {
+		return RunTraffic(o)
+	},
 }
 
 // RunJSON runs the given experiment ids and writes one indented JSON
@@ -90,7 +93,7 @@ func RunJSON(w io.Writer, ids []string, o Options) error {
 	for _, id := range ids {
 		run, ok := jsonRunners[id]
 		if !ok {
-			return fmt.Errorf("experiment %q has no JSON reporter (have: scan, concurrency, sharded, obs)", id)
+			return fmt.Errorf("experiment %q has no JSON reporter (have: scan, concurrency, sharded, obs, traffic)", id)
 		}
 		res, err := run(o)
 		if err != nil {

@@ -474,6 +474,41 @@ func (t *Tsunami) RegionsVisited(q query.Query) int {
 	return n
 }
 
+// EstimateCost bounds q's scan cost at plan time, without scanning
+// anything: rows is the number of physical rows the executed plan would
+// visit (Grid Tree routing plus each routed region grid's physical range
+// plan, plus the buffered delta rows every query folds in), and bytes
+// models the column bytes those rows would move — 8 per row for each
+// filter column plus the aggregate column for SUM, the same planned
+// figure ScanResult.BytesTouched reports, as an upper bound (exact-range
+// scans touch less). The Executor's admission budgets are enforced
+// against this estimate.
+func (t *Tsunami) EstimateCost(q query.Query) (rows, bytes uint64) {
+	ctx := execCtxPool.Get().(*execContext)
+	defer execCtxPool.Put(ctx)
+	ctx.regions = t.tree.FindRegions(q, ctx.regions[:0])
+	ctx.phys = ctx.phys[:0]
+	for _, r := range ctx.regions {
+		if g := t.grids[r.ID]; g != nil {
+			ctx.phys, _ = g.PlanRanges(q, ctx.grid, ctx.phys)
+			continue
+		}
+		b := t.bounds[r.ID]
+		if b[0] < b[1] {
+			ctx.phys = append(ctx.phys, auggrid.PhysRange{Start: b[0], End: b[1]})
+		}
+	}
+	for _, pr := range ctx.phys {
+		rows += uint64(pr.End - pr.Start)
+	}
+	rows += uint64(t.NumBuffered())
+	cols := uint64(len(q.Filters))
+	if q.Agg == query.Sum {
+		cols++
+	}
+	return rows, rows * 8 * cols
+}
+
 // DebugRegions renders per-region layout summaries for diagnostics.
 func (t *Tsunami) DebugRegions() string {
 	out := ""

@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/obs"
+	"repro/internal/qcache"
 	"repro/internal/query"
 	"repro/internal/shift"
 	"repro/internal/wstats"
@@ -105,6 +106,14 @@ type Config struct {
 	// router instead and clears this per shard — set sharded.Config.
 	// Workload there.
 	Workload *wstats.Collector
+	// CacheEntries, when > 0, enables the epoch-keyed query-result cache
+	// (internal/qcache) with roughly that many entries. A hit serves a
+	// previously computed result for the exact same canonical query at the
+	// current epoch — invalidation is free because every publish bumps the
+	// epoch, so a stale entry's key can never match again. 0 disables the
+	// cache. A ShardedStore caches at the router instead and clears this
+	// per shard — set sharded.Config.CacheEntries there.
+	CacheEntries int
 }
 
 func (c *Config) fill() {
@@ -276,6 +285,14 @@ type Store struct {
 
 	metrics *liveMetrics // nil when instrumentation is off
 
+	// cache is the epoch-keyed result cache; nil when disabled. The
+	// counters alongside it are nil-safe obs instruments resolved once at
+	// Open (nil when metrics are off).
+	cache          *qcache.Cache
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+
 	queries       atomic.Uint64
 	inserts       atomic.Uint64
 	merges        atomic.Uint64
@@ -304,6 +321,17 @@ func Open(idx *core.Tsunami, optimized []query.Query, cfg Config) *Store {
 	s.log = idx.BufferedRows()
 	s.cur.Store(&version{idx: idx, epoch: 1, logLen: len(s.log)})
 	s.metrics = newLiveMetrics(s, cfg.Metrics, cfg.MetricsLabel)
+	if cfg.CacheEntries > 0 {
+		s.cache = qcache.New(cfg.CacheEntries)
+		if r := cfg.Metrics; r != nil {
+			s.cacheHits = r.Counter(obs.MCacheHits)
+			s.cacheMisses = r.Counter(obs.MCacheMisses)
+			s.cacheEvictions = r.Counter(obs.MCacheEvictions)
+			r.GaugeFunc(obs.MCacheEntries+cfg.MetricsLabel, func() float64 {
+				return float64(s.cache.Len())
+			})
+		}
+	}
 	if len(optimized) > 0 && !cfg.DisableShift {
 		s.detector = shift.NewDetector(idx.Store(), optimized, cfg.Shift)
 		s.detectorTypes.Store(int64(s.detector.NumTypes()))
@@ -368,9 +396,13 @@ func Recover(r io.Reader, optimized []query.Query, cfg Config) (*Store, error) {
 func (s *Store) Execute(q query.Query) colstore.ScanResult {
 	v := s.cur.Load()
 	s.queries.Add(1)
+	if res, ok := s.cacheGet(v, q); ok {
+		return res
+	}
 	m, w := s.metrics, s.cfg.Workload
 	if m == nil && w == nil {
 		res := v.idx.Execute(q)
+		s.cachePut(v, q, res)
 		s.observeAsync(q, res.Count, v)
 		return res
 	}
@@ -381,6 +413,7 @@ func (s *Store) Execute(q query.Query) colstore.ScanResult {
 		m.qm.Observe(d, res.PointsScanned, res.BytesTouched)
 	}
 	w.Record(q, d, res.Count, res.PointsScanned, res.BytesTouched)
+	s.cachePut(v, q, res)
 	s.observeAsync(q, res.Count, v)
 	return res
 }
@@ -391,9 +424,13 @@ func (s *Store) Execute(q query.Query) colstore.ScanResult {
 func (s *Store) ExecuteParallelOn(q query.Query, workers int, submit func(task func())) colstore.ScanResult {
 	v := s.cur.Load()
 	s.queries.Add(1)
+	if res, ok := s.cacheGet(v, q); ok {
+		return res
+	}
 	m, w := s.metrics, s.cfg.Workload
 	if m == nil && w == nil {
 		res := v.idx.ExecuteParallelOn(q, workers, submit)
+		s.cachePut(v, q, res)
 		s.observeAsync(q, res.Count, v)
 		return res
 	}
@@ -404,8 +441,48 @@ func (s *Store) ExecuteParallelOn(q query.Query, workers int, submit func(task f
 		m.qm.Observe(d, res.PointsScanned, res.BytesTouched)
 	}
 	w.Record(q, d, res.Count, res.PointsScanned, res.BytesTouched)
+	s.cachePut(v, q, res)
 	s.observeAsync(q, res.Count, v)
 	return res
+}
+
+// cacheGet serves q from the result cache at v's epoch when possible. A
+// hit is recorded into metrics and workload stats like any served query
+// (with zero rows/bytes scanned — the point of the hit) and still feeds
+// the shift detector, so cached traffic cannot blind the adaptivity loop.
+func (s *Store) cacheGet(v *version, q query.Query) (colstore.ScanResult, bool) {
+	if s.cache == nil {
+		return colstore.ScanResult{}, false
+	}
+	start := time.Now()
+	res, ok := s.cache.Get(v.epoch, nil, q)
+	if !ok {
+		s.cacheMisses.Add(1)
+		return colstore.ScanResult{}, false
+	}
+	s.cacheHits.Add(1)
+	if m, w := s.metrics, s.cfg.Workload; m != nil || w != nil {
+		d := time.Since(start)
+		if m != nil {
+			m.qm.Observe(d, 0, 0)
+		}
+		w.Record(q, d, res.Count, 0, 0)
+	}
+	s.observeAsync(q, res.Count, v)
+	return res, true
+}
+
+// cachePut stores a freshly computed result under v's epoch. v.idx is
+// immutable, so res is exactly epoch v's answer even if a newer epoch
+// published mid-execution — the entry is then merely unreachable (its
+// epoch is no longer current), never wrong.
+func (s *Store) cachePut(v *version, q query.Query, res colstore.ScanResult) {
+	if s.cache == nil {
+		return
+	}
+	if s.cache.Put(v.epoch, nil, q, res) {
+		s.cacheEvictions.Add(1)
+	}
 }
 
 // observeAsync feeds the detector one served query and the result
@@ -449,6 +526,13 @@ func (s *Store) CurrentIndex() index.Index { return s }
 // Epoch returns the current epoch number; it advances by one per
 // published version (ingest batch, merge, or re-optimization).
 func (s *Store) Epoch() uint64 { return s.cur.Load().epoch }
+
+// EstimateCost bounds q's plan-time scan cost against the current epoch
+// (see core.Tsunami.EstimateCost); the Executor's admission budgets use
+// it to reject over-budget queries before they scan.
+func (s *Store) EstimateCost(q query.Query) (rows, bytes uint64) {
+	return s.cur.Load().idx.EstimateCost(q)
+}
 
 // Insert ingests one row. It becomes visible to queries as soon as Insert
 // returns.
@@ -545,6 +629,8 @@ type Stats struct {
 	Reoptimizations     uint64
 	Snapshots           uint64
 	DroppedObservations uint64
+	// Cache is the result cache's counters; all-zero when disabled.
+	Cache qcache.Stats
 }
 
 // Stats reports current counters. Safe from any goroutine.
@@ -562,8 +648,13 @@ func (s *Store) Stats() Stats {
 		DroppedObservations: s.droppedObs.Load(),
 	}
 	st.DetectorTypes = int(s.detectorTypes.Load())
+	st.Cache = s.cache.Stats()
 	return st
 }
+
+// CacheStats reports the result cache's counters (all-zero when the
+// cache is disabled). Safe from any goroutine.
+func (s *Store) CacheStats() qcache.Stats { return s.cache.Stats() }
 
 // Close stops ingest and maintenance and waits for the maintenance
 // goroutine to exit. If periodic snapshots are configured, a final

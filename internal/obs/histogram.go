@@ -135,11 +135,23 @@ func (s HistSnapshot) Count() uint64 {
 
 // Quantile returns the q-quantile (q in [0,1]) in scaled units, as the
 // upper bound of the bucket holding the rank-ceil(q*count) observation.
-// Returns 0 for an empty snapshot.
+// Returns 0 for an empty snapshot; callers that must distinguish "no
+// observations" from a genuine zero quantile use QuantileOK.
 func (s HistSnapshot) Quantile(q float64) float64 {
+	v, _ := s.QuantileOK(q)
+	return v
+}
+
+// QuantileOK is Quantile with an explicit empty-snapshot sentinel: it
+// reports (0, false) when the snapshot holds no observations, so callers
+// rendering quantiles (the CLI stats line, bench reports) can print a
+// placeholder instead of a misleading 0. With at least one observation it
+// reports (quantile, true); a single sample v yields its bucket's upper
+// bound, within the histogram's 12.5% relative error of v.
+func (s HistSnapshot) QuantileOK(q float64) (float64, bool) {
 	total := s.Count()
 	if total == 0 {
-		return 0
+		return 0, false
 	}
 	if q < 0 {
 		q = 0
@@ -158,10 +170,10 @@ func (s HistSnapshot) Quantile(q float64) float64 {
 	for b, c := range s.Buckets {
 		seen += c
 		if seen >= rank {
-			return float64(bucketMax(b)) * s.scaleOr1()
+			return float64(bucketMax(b)) * s.scaleOr1(), true
 		}
 	}
-	return float64(bucketMax(len(s.Buckets)-1)) * s.scaleOr1()
+	return float64(bucketMax(len(s.Buckets)-1)) * s.scaleOr1(), true
 }
 
 // Mean returns the exact mean of recorded values in scaled units (the

@@ -271,3 +271,49 @@ func TestNegativeClamp(t *testing.T) {
 		t.Fatalf("negative value not clamped to bucket 0: %+v", snap.Buckets[:4])
 	}
 }
+
+// TestQuantileOKEmpty pins the empty-histogram sentinel: an empty
+// snapshot must report (0, false) for every quantile — never a
+// bucket-edge artifact — and the legacy Quantile wrapper must return 0.
+func TestQuantileOKEmpty(t *testing.T) {
+	h := newHistogram(1e-9)
+	snap := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v, ok := snap.QuantileOK(q); ok || v != 0 {
+			t.Fatalf("empty QuantileOK(%v) = (%v, %v), want (0, false)", q, v, ok)
+		}
+		if v := snap.Quantile(q); v != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, v)
+		}
+	}
+	// A diffed pair of identical snapshots is empty too.
+	h.Record(1234)
+	s := h.Snapshot()
+	if v, ok := s.Sub(s).QuantileOK(0.99); ok || v != 0 {
+		t.Fatalf("self-diff QuantileOK = (%v, %v), want (0, false)", v, ok)
+	}
+}
+
+// TestQuantileOKSingleSample: one observation v must yield ok=true at
+// every quantile, with the value equal to v's bucket upper bound (within
+// the histogram's 12.5% relative error of v, never below it).
+func TestQuantileOKSingleSample(t *testing.T) {
+	for _, v := range []int64{0, 1, 7, 8, 1000, 123456789} {
+		h := newHistogram(0) // scale 0 → raw units
+		h.Record(v)
+		snap := h.Snapshot()
+		want := float64(bucketMax(bucketIdx(v)))
+		for _, q := range []float64{0, 0.5, 1} {
+			got, ok := snap.QuantileOK(q)
+			if !ok {
+				t.Fatalf("single-sample QuantileOK(%v) not ok for v=%d", q, v)
+			}
+			if got != want {
+				t.Fatalf("single-sample QuantileOK(%v) for v=%d = %v, want bucket bound %v", q, v, got, want)
+			}
+			if got < float64(v) || got > float64(v)*1.125+1 {
+				t.Fatalf("single-sample bound %v outside [v, 1.125v+1] for v=%d", got, v)
+			}
+		}
+	}
+}

@@ -35,6 +35,19 @@ const (
 	MLiveSnapSeconds   = "tsunami_live_snapshot_seconds"
 	MLiveDetectorFires = "tsunami_live_detector_fires_total"
 
+	// Result cache (epoch-keyed; recorded by whichever layer owns the
+	// cache — LiveStore or the ShardedStore router).
+	MCacheHits      = "tsunami_cache_hits_total"
+	MCacheMisses    = "tsunami_cache_misses_total"
+	MCacheEvictions = "tsunami_cache_evictions_total"
+	MCacheEntries   = "tsunami_cache_entries"
+
+	// Executor admission control.
+	MAdmissionAdmitted = "tsunami_admission_admitted_total"
+	MAdmissionShed     = "tsunami_admission_shed_total"
+	MAdmissionBudget   = "tsunami_admission_budget_rejected_total"
+	MAdmissionInFlight = "tsunami_admission_in_flight"
+
 	// ShardedStore router and rebalancer.
 	MShardedQueryLatency   = "tsunami_sharded_query_latency_seconds"
 	MShardedFanout         = "tsunami_sharded_fanout_shards"

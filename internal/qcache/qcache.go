@@ -1,0 +1,279 @@
+// Package qcache is the epoch-keyed query-result cache behind the
+// serving layers' hot paths.
+//
+// The cache key is (version, exact canonical query) — the query's
+// literal filter bounds included. This is deliberately NOT the wstats
+// fingerprint: fingerprints erase literal bounds so that
+// `count fare<=10` and `count fare<=20` collapse into one shape for
+// workload accounting, which is exactly wrong for a result cache — the
+// two queries have different answers. Keying on the exact literals makes
+// a hit correct by construction; the wstats heavy-hitter list is still
+// the right tool for deciding *what* is worth caching, just not for
+// identifying an entry.
+//
+// Invalidation is exact and free. The version a caller passes is the
+// serving epoch the result was computed at: the LiveStore's epoch
+// counter, or for the sharded router a digest of (topology generation,
+// routed shard ids, per-shard epochs). Every publish bumps the epoch,
+// so a cached entry is valid precisely while its version is current — a
+// stale entry's key simply never matches again and no sweeper or TTL is
+// needed. Stale entries are reclaimed lazily by eviction pressure,
+// which prefers entries whose version differs from the one being
+// inserted (i.e. provably stale ones) over live ones.
+//
+// Callers that need multi-component versions (the sharded router) pass
+// the full version vector alongside the digested version; entries store
+// a copy and Get compares it element-wise, so a digest collision can
+// cause a spurious miss but never a stale hit.
+package qcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/colstore"
+	"repro/internal/query"
+)
+
+const (
+	// maxFilters bounds the inline filter array in a key. Queries with
+	// more filters are simply not cached — at that width the routing and
+	// scan cost dwarfs a map probe anyway.
+	maxFilters = 8
+	// nlocks is the lock-striping factor: keys hash across this many
+	// independently locked map shards.
+	nlocks = 16
+	// evictScan is how many map entries a full shard examines looking
+	// for a stale-version victim before settling for any entry.
+	evictScan = 4
+)
+
+// key is the exact identity of a cached result: version plus the full
+// canonical query (aggregate, aggregate dimension, and every filter with
+// its literal bounds). It is a comparable value type so lookups are
+// allocation-free map probes. query.Type is excluded — it names the
+// template a query was generated from, not its semantics.
+type key struct {
+	ver    uint64
+	agg    query.Agg
+	aggDim int
+	nf     int
+	f      [maxFilters]query.Filter
+}
+
+// entry pairs a result with the version vector it was computed under
+// (nil for single-epoch callers).
+type entry struct {
+	vec []uint64
+	res colstore.ScanResult
+}
+
+type lockShard struct {
+	mu sync.Mutex
+	m  map[key]entry
+}
+
+// Cache is a bounded, concurrency-safe result cache. A nil *Cache is
+// valid and no-ops (misses on Get, drops Puts), matching the serving
+// stack's nil→no-op observability contract.
+type Cache struct {
+	perShard  int
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	shards    [nlocks]lockShard
+}
+
+// New returns a cache holding roughly entries results (rounded up to the
+// lock-striping granularity). entries <= 0 returns nil — the no-op cache.
+func New(entries int) *Cache {
+	if entries <= 0 {
+		return nil
+	}
+	per := (entries + nlocks - 1) / nlocks
+	c := &Cache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[key]entry, per)
+	}
+	return c
+}
+
+// keyOf builds the cache key for q at ver. ok=false means the query is
+// not cacheable: too many filters, or filters not in canonical order
+// (query constructors normalize — sorted by dimension, duplicates
+// intersected — so a non-canonical query is a hand-built one whose
+// textual identity is unreliable; refusing to cache it is always safe).
+func keyOf(ver uint64, q query.Query) (key, bool) {
+	if len(q.Filters) > maxFilters {
+		return key{}, false
+	}
+	k := key{ver: ver, agg: q.Agg, nf: len(q.Filters)}
+	if q.Agg == query.Sum {
+		k.aggDim = q.AggDim
+	}
+	last := -1
+	for i, f := range q.Filters {
+		if f.Dim <= last {
+			return key{}, false
+		}
+		last = f.Dim
+		k.f[i] = f
+	}
+	return k, true
+}
+
+// fnv-1a over the key's fields, for lock-shard selection.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func (k *key) shard() int {
+	h := uint64(fnvOffset)
+	mix := func(v uint64) {
+		h ^= v
+		h *= fnvPrime
+	}
+	mix(k.ver)
+	mix(uint64(k.agg)<<32 | uint64(uint32(k.aggDim)))
+	mix(uint64(k.nf))
+	for i := 0; i < k.nf; i++ {
+		f := &k.f[i]
+		mix(uint64(f.Dim))
+		mix(uint64(f.Lo))
+		mix(uint64(f.Hi))
+	}
+	return int(h % nlocks)
+}
+
+// Digest folds a version vector into the single version word used for
+// keying. Collisions are harmless: Get compares the full vector.
+func Digest(vec []uint64) uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range vec {
+		h ^= v
+		h *= fnvPrime
+	}
+	return h
+}
+
+func vecEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Get looks up q's result at version ver. vec, when non-nil, must match
+// the stored entry's vector element-wise — the collision-proof check
+// behind Digest. A miss (or a nil cache) reports ok=false.
+func (c *Cache) Get(ver uint64, vec []uint64, q query.Query) (colstore.ScanResult, bool) {
+	if c == nil {
+		return colstore.ScanResult{}, false
+	}
+	k, ok := keyOf(ver, q)
+	if !ok {
+		c.misses.Add(1)
+		return colstore.ScanResult{}, false
+	}
+	s := &c.shards[k.shard()]
+	s.mu.Lock()
+	e, hit := s.m[k]
+	s.mu.Unlock()
+	if !hit || !vecEqual(e.vec, vec) {
+		c.misses.Add(1)
+		return colstore.ScanResult{}, false
+	}
+	c.hits.Add(1)
+	return e.res, true
+}
+
+// Put stores q's result computed at version ver (with its version
+// vector, for multi-component callers). Reports whether an existing
+// entry was evicted to make room. Uncacheable queries are dropped.
+func (c *Cache) Put(ver uint64, vec []uint64, q query.Query, res colstore.ScanResult) (evicted bool) {
+	if c == nil {
+		return false
+	}
+	k, ok := keyOf(ver, q)
+	if !ok {
+		return false
+	}
+	var vcopy []uint64
+	if len(vec) > 0 {
+		vcopy = append([]uint64(nil), vec...)
+	}
+	s := &c.shards[k.shard()]
+	s.mu.Lock()
+	if _, exists := s.m[k]; !exists && len(s.m) >= c.perShard {
+		// Evict: map iteration order is effectively random, so the first
+		// few yielded entries are a cheap uniform sample. Prefer one whose
+		// version is not the one being inserted — provably stale under
+		// single-epoch keying, at worst a different hot epoch mix under
+		// digested keying — else take any sampled entry.
+		var victim key
+		have := false
+		n := 0
+		for ek := range s.m {
+			if !have || ek.ver != ver {
+				victim, have = ek, true
+			}
+			n++
+			if ek.ver != ver || n >= evictScan {
+				break
+			}
+		}
+		if have {
+			delete(s.m, victim)
+			evicted = true
+		}
+	}
+	s.m[k] = entry{vec: vcopy, res: res}
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+	return evicted
+}
+
+// Stats is a point-in-time view of the cache's counters and size.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+}
+
+// Stats reports hit/miss/eviction totals and the current entry count.
+// Safe on a nil cache (all zeros).
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}
+
+// Len is the current number of cached entries. Safe on a nil cache.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -52,6 +52,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/live"
 	"repro/internal/obs"
+	"repro/internal/qcache"
 	"repro/internal/query"
 	"repro/internal/wstats"
 )
@@ -107,6 +108,15 @@ type Config struct {
 	// slow-query exemplars trace through the router's non-recording trace
 	// path. Nil keeps the hot path bare.
 	Workload *wstats.Collector
+	// CacheEntries, when > 0, enables a router-level result cache
+	// (internal/qcache) with roughly that many entries, keyed on the
+	// topology generation plus the per-shard epoch vector of the shards
+	// the query routes to — so a hit is exactly the scatter-gather answer
+	// at those epochs, and any ingest, merge, or migration on a routed
+	// shard invalidates it for free. Any Live.CacheEntries is cleared on
+	// the per-shard configs: caching below the router would hold the same
+	// results twice and hit less. 0 disables the cache.
+	CacheEntries int
 }
 
 // shardedMetrics caches the router's resolved instruments.
@@ -223,6 +233,14 @@ type Store struct {
 	onEvent     func(Event)
 	metrics     *shardedMetrics   // nil when instrumentation is off
 	workload    *wstats.Collector // nil when workload stats are off
+
+	// cache is the router-level result cache; nil when disabled. The
+	// counters alongside it are nil-safe obs instruments resolved once at
+	// open (nil when metrics are off).
+	cache          *qcache.Cache
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
 
 	emitMu sync.Mutex // serializes OnEvent across shards
 
@@ -363,12 +381,26 @@ func openShards(parts Partitioner, idxs []*core.Tsunami, workload []query.Query,
 	}
 	s.topo.Store(&topology{parts: parts, gen: gen})
 	s.metrics = newShardedMetrics(s, cfg.Metrics)
+	if cfg.CacheEntries > 0 {
+		s.cache = qcache.New(cfg.CacheEntries)
+		if r := cfg.Metrics; r != nil {
+			s.cacheHits = r.Counter(obs.MCacheHits)
+			s.cacheMisses = r.Counter(obs.MCacheMisses)
+			s.cacheEvictions = r.Counter(obs.MCacheEvictions)
+			r.GaugeFunc(obs.MCacheEntries, func() float64 {
+				return float64(s.cache.Len())
+			})
+		}
+	}
 	s.shards = make([]*live.Store, len(idxs))
 	for i, idx := range idxs {
 		lc := cfg.Live
 		// Workload stats record once at the router (below); a collector on
-		// the per-shard config would double-count every fan-out query.
+		// the per-shard config would double-count every fan-out query. The
+		// result cache likewise lives at the router only (see
+		// Config.CacheEntries).
 		lc.Workload = nil
+		lc.CacheEntries = 0
 		if cfg.Metrics != nil {
 			lc.Metrics = cfg.Metrics
 			lc.MetricsLabel = fmt.Sprintf(`{shard="%d"}`, i)
@@ -557,15 +589,60 @@ func (s *Store) executeRouted(q query.Query) colstore.ScanResult {
 	return s.readStable(func(top *topology, scanned *int) colstore.ScanResult {
 		ids := top.parts.Shards(q, make([]int, 0, len(s.shards)))
 		*scanned = len(ids)
-		if len(ids) == 1 {
-			return s.shards[ids[0]].Execute(q)
+		vec, ver, cok := s.cacheKey(top, ids)
+		if cok {
+			if res, hit := s.cache.Get(ver, vec, q); hit {
+				s.cacheHits.Add(1)
+				return res
+			}
+			s.cacheMisses.Add(1)
 		}
 		var res colstore.ScanResult
-		for _, id := range ids {
-			res.Add(s.shards[id].Execute(q))
+		if len(ids) == 1 {
+			res = s.shards[ids[0]].Execute(q)
+		} else {
+			for _, id := range ids {
+				res.Add(s.shards[id].Execute(q))
+			}
 		}
+		s.cachePutRouted(ver, vec, q, res, cok)
 		return res
 	})
+}
+
+// cacheKey builds the router cache's version vector for a routed query:
+// the topology generation followed by each routed shard's current epoch,
+// in routing order. The generation pins the routing itself (same
+// generation → same partitioner → same ids for this query) and the
+// epochs pin each shard's contents, so a vector identifies exactly one
+// scatter-gather answer. cok=false means the cache is off.
+func (s *Store) cacheKey(top *topology, ids []int) (vec []uint64, ver uint64, cok bool) {
+	if s.cache == nil {
+		return nil, 0, false
+	}
+	vec = make([]uint64, 0, len(ids)+1)
+	vec = append(vec, top.gen)
+	for _, id := range ids {
+		vec = append(vec, s.shards[id].Epoch())
+	}
+	return vec, qcache.Digest(vec), true
+}
+
+// cachePutRouted stores a scatter-gather result under the version vector
+// captured before the shard executes. If any routed shard published
+// between the capture and the execute, the merged result may mix epochs —
+// but then the current vector has already moved past vec (epochs are
+// monotonic within a generation, and every shard replacement bumps the
+// generation), so the entry can never be served: a lookup recomputes the
+// vector from current state and element-wise comparison rejects it. Put
+// is therefore always safe without a second epoch read.
+func (s *Store) cachePutRouted(ver uint64, vec []uint64, q query.Query, res colstore.ScanResult, cok bool) {
+	if !cok {
+		return
+	}
+	if s.cache.Put(ver, vec, q, res) {
+		s.cacheEvictions.Add(1)
+	}
 }
 
 // ExecuteParallelOn answers one query scatter-gather style: the surviving
@@ -589,18 +666,28 @@ func (s *Store) executeParallelRouted(q query.Query, workers int, submit func(ta
 	return s.readStable(func(top *topology, scanned *int) colstore.ScanResult {
 		ids := top.parts.Shards(q, make([]int, 0, len(s.shards)))
 		*scanned = len(ids)
+		vec, ver, cok := s.cacheKey(top, ids)
+		if cok {
+			if res, hit := s.cache.Get(ver, vec, q); hit {
+				s.cacheHits.Add(1)
+				return res
+			}
+			s.cacheMisses.Add(1)
+		}
 		w := workers
 		if w > len(ids) {
 			w = len(ids)
 		}
 		if w <= 1 {
-			if len(ids) == 1 {
-				return s.shards[ids[0]].Execute(q)
-			}
 			var res colstore.ScanResult
-			for _, id := range ids {
-				res.Add(s.shards[id].Execute(q))
+			if len(ids) == 1 {
+				res = s.shards[ids[0]].Execute(q)
+			} else {
+				for _, id := range ids {
+					res.Add(s.shards[id].Execute(q))
+				}
 			}
+			s.cachePutRouted(ver, vec, q, res, cok)
 			return res
 		}
 		sub := submit
@@ -634,8 +721,24 @@ func (s *Store) executeParallelRouted(q query.Query, workers int, submit func(ta
 		for _, p := range partial {
 			res.Add(p)
 		}
+		s.cachePutRouted(ver, vec, q, res, cok)
 		return res
 	})
+}
+
+// EstimateCost bounds q's plan-time scan cost: the sum of the routed
+// (unpruned) shards' own estimates under the current topology (see
+// core.Tsunami.EstimateCost). The Executor's admission budgets use it to
+// reject over-budget queries before any shard scans.
+func (s *Store) EstimateCost(q query.Query) (rows, bytes uint64) {
+	top := s.topo.Load()
+	ids := top.parts.Shards(q, make([]int, 0, len(s.shards)))
+	for _, id := range ids {
+		r, b := s.shards[id].EstimateCost(q)
+		rows += r
+		bytes += b
+	}
+	return rows, bytes
 }
 
 // Name implements index.Index.
@@ -802,6 +905,10 @@ type Stats struct {
 	Rebalances   uint64
 	RowsMigrated uint64
 
+	// Cache is the router-level result cache's counters; all-zero when
+	// disabled.
+	Cache qcache.Stats
+
 	// Sums over shards.
 	ClusteredRows   int
 	BufferedRows    int
@@ -826,6 +933,7 @@ func (s *Store) Stats() Stats {
 		ShardsPruned:  s.shardsPruned.Load(),
 		Rebalances:    s.rebalances.Load(),
 		RowsMigrated:  s.rowsMigrated.Load(),
+		Cache:         s.cache.Stats(),
 		PerShard:      make([]live.Stats, len(s.shards)),
 	}
 	for i, sh := range s.shards {

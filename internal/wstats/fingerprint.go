@@ -32,9 +32,17 @@ import (
 // bound values (e.g. zone=5 vs zone=7, or two range scans of similar
 // width) share a fingerprint; widening a range by more than 2x, or
 // filtering a different dimension set, changes it. This is deliberately
-// coarser than query equality — popularity and latency profiles attach to
-// shapes, which is what a plan/result cache or the layout optimizer keys
-// on — and finer than the shift detector's dimension-set types.
+// coarser than query equality — popularity and latency profiles attach
+// to shapes, which is what a plan cache or the layout optimizer keys on
+// — and finer than the shift detector's dimension-set types.
+//
+// The *result* cache (internal/qcache) must NOT key on fingerprints,
+// and does not: two queries with one fingerprint (zone=5 vs zone=7)
+// have different answers, so a shape-keyed result cache would serve one
+// query's result as the other's. Result caching needs exact-literal
+// equality (the canonicalized query itself, plus the serving epoch);
+// observability needs literal-erasing aggregation — same canonical
+// form, opposite equivalence classes, two deliberately separate keys.
 type Fingerprint uint64
 
 // Bound classes, hashed into the fingerprint and counted per dimension.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/live"
+	"repro/internal/qcache"
 	"repro/internal/sharded"
 )
 
@@ -48,6 +49,14 @@ type LiveEvent = live.Event
 
 // LiveStats is a point-in-time summary of a LiveStore.
 type LiveStats = live.Stats
+
+// CacheStats is a point-in-time summary of a serving layer's result
+// cache (LiveOptions.CacheEntries / ShardedOptions.CacheEntries): hit,
+// miss, and eviction totals plus the current entry count. The cache is
+// keyed on (epoch, exact canonical query) — literal filter bounds
+// included — so every publish invalidates exactly and for free; see
+// internal/qcache for why the key is not the workload fingerprint.
+type CacheStats = qcache.Stats
 
 // Maintenance event kinds reported through LiveOptions.OnEvent.
 const (
