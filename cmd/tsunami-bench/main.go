@@ -9,11 +9,11 @@
 //	tsunami-bench -experiment scan,concurrency,sharded -quick -json > BENCH.json
 //
 // Experiments: tab3, tab4, fig7, fig8, fig9a, fig9b, fig10, fig11a,
-// fig11b, fig12a, fig12b, ablation, scan, concurrency, sharded, rebalance,
-// traffic, all. -experiment accepts a comma-separated list; with -json the run
-// emits one machine-readable bench.Report instead of tables (only scan,
-// concurrency, sharded, obs, and traffic have JSON reporters — CI uploads that output as
-// the per-PR BENCH artifact).
+// fig11b, fig12a, fig12b, ablation, scan, groupby, concurrency, sharded,
+// rebalance, traffic, all. -experiment accepts a comma-separated list; with
+// -json the run emits one machine-readable bench.Report instead of tables
+// (only scan, groupby, concurrency, sharded, obs, and traffic have JSON
+// reporters — CI uploads that output as the per-PR BENCH artifact).
 package main
 
 import (
@@ -27,12 +27,12 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "comma-separated experiment ids (tab3, tab4, fig7..fig12b, ablation, scan, concurrency, sharded, rebalance, obs, traffic, all)")
+		experiment = flag.String("experiment", "all", "comma-separated experiment ids (tab3, tab4, fig7..fig12b, ablation, scan, groupby, concurrency, sharded, rebalance, obs, traffic, all)")
 		rows       = flag.Int("rows", 0, "base dataset rows (default 200000; paper used 184M-300M)")
 		perType    = flag.Int("queries-per-type", 0, "queries per query type (default 100, as in the paper)")
 		seed       = flag.Int64("seed", 42, "generator seed")
 		quick      = flag.Bool("quick", false, "small fast run for smoke testing")
-		asJSON     = flag.Bool("json", false, "emit one machine-readable JSON report (scan, concurrency, sharded, obs, traffic only)")
+		asJSON     = flag.Bool("json", false, "emit one machine-readable JSON report (scan, groupby, concurrency, sharded, obs, traffic only)")
 	)
 	flag.Parse()
 

@@ -6,6 +6,7 @@
 //	> count passengers=1 30<=pickup_zone<=60
 //	> explain distance<=100 pickup_time>=900000
 //	> sum fare distance<=100
+//	> count distance<=100 by passengers
 //	> insert 1000,1030,250,900,100,1000,2,17,42
 //	> merge
 //	> save /tmp/taxi.idx
@@ -147,6 +148,25 @@ func (s *session) execute(q query.Query) (colstore.ScanResult, error) {
 	return res, nil
 }
 
+// executeGrouped answers a GROUP BY query (parsed from a trailing
+// "by <col>" clause), with the same admission and accounting split as
+// execute: the serving layers record their own telemetry, plain mode
+// records here.
+func (s *session) executeGrouped(q query.Query) (colstore.GroupedResult, error) {
+	if s.live != nil || s.shard != nil {
+		return s.ex.ServeGrouped(q, tsunami.PriorityInteractive)
+	}
+	start := time.Now()
+	res, err := s.ex.ServeGrouped(q, tsunami.PriorityInteractive)
+	if err != nil {
+		return res, err
+	}
+	d := time.Since(start)
+	s.qm.Observe(d, res.PointsScanned, res.BytesTouched)
+	s.wl.Record(q, d, res.TotalCount(), res.PointsScanned, res.BytesTouched)
+	return res, nil
+}
+
 // executeTrace answers q with an explain-analyze trace, feeding the same
 // metrics as execute so traced queries do not skew the aggregates.
 func (s *session) executeTrace(q query.Query) (colstore.ScanResult, *obs.QueryTrace) {
@@ -161,6 +181,22 @@ func (s *session) executeTrace(q query.Query) (colstore.ScanResult, *obs.QueryTr
 	d := time.Since(start)
 	s.qm.Observe(d, res.PointsScanned, res.BytesTouched)
 	s.wl.Record(q, d, res.Count, res.PointsScanned, res.BytesTouched)
+	return res, tr
+}
+
+// executeGroupedTrace is executeTrace for GROUP BY queries.
+func (s *session) executeGroupedTrace(q query.Query) (colstore.GroupedResult, *obs.QueryTrace) {
+	if s.live != nil {
+		return s.live.ExecuteGroupedTrace(q)
+	}
+	if s.shard != nil {
+		return s.shard.ExecuteGroupedTrace(q)
+	}
+	start := time.Now()
+	res, tr := s.idx.ExecuteGroupedTrace(q)
+	d := time.Since(start)
+	s.qm.Observe(d, res.PointsScanned, res.BytesTouched)
+	s.wl.Record(q, d, res.TotalCount(), res.PointsScanned, res.BytesTouched)
 	return res, tr
 }
 
@@ -517,6 +553,8 @@ func eval(s *session, names []string, line string) bool {
 		fmt.Print(`commands:
   count <pred>...        COUNT(*) under the predicates, e.g. count qty=3 10<=day<=20
   sum <col> <pred>...    SUM(col)
+                         append "by <col>" for a grouped aggregate (GROUP BY),
+                         e.g. count day<=100 by store / sum price by qty
   explain <pred>...      show which regions/cells the query touches (plan only)
   trace <count|sum ...>  explain-analyze: run the query, show per-stage and per-shard timings
   stats                  index structure + serving telemetry (latency quantiles, scan volume)
@@ -585,6 +623,12 @@ func eval(s *session, names []string, line string) bool {
 		q, err := qparse.Parse(rest, names)
 		if err != nil {
 			fmt.Println(err)
+			return false
+		}
+		if q.Grouped() {
+			res, tr := s.executeGroupedTrace(q)
+			fmt.Print(tr.String())
+			printGrouped(q, names, res, 0)
 			return false
 		}
 		res, tr := s.executeTrace(q)
@@ -686,6 +730,16 @@ func eval(s *session, names []string, line string) bool {
 			fmt.Print(s.index().Explain(q))
 			return false
 		}
+		if q.Grouped() {
+			start := time.Now()
+			res, err := s.executeGrouped(q)
+			if err != nil {
+				fmt.Println(err)
+				return false
+			}
+			printGrouped(q, names, res, time.Since(start))
+			return false
+		}
 		start := time.Now()
 		res, err := s.execute(q)
 		if err != nil {
@@ -702,6 +756,30 @@ func eval(s *session, names []string, line string) bool {
 		fmt.Printf("unknown command %q (try help)\n", verb)
 	}
 	return false
+}
+
+// printGrouped renders a grouped aggregate: one line per group key,
+// sorted by key (the merge order), with sum/avg columns only for SUM
+// queries. elapsed == 0 suppresses the timing suffix (trace already
+// printed stage timings).
+func printGrouped(q query.Query, names []string, res colstore.GroupedResult, elapsed time.Duration) {
+	gname := fmt.Sprintf("d%d", q.GroupDim())
+	if d := q.GroupDim(); d >= 0 && d < len(names) {
+		gname = names[d]
+	}
+	for _, g := range res.Groups {
+		if q.Agg == query.Sum {
+			fmt.Printf("%s=%d: count=%d sum=%d avg=%.2f\n", gname, g.Key, g.Count, g.Sum, g.Avg())
+		} else {
+			fmt.Printf("%s=%d: count=%d\n", gname, g.Key, g.Count)
+		}
+	}
+	if elapsed > 0 {
+		fmt.Printf("%d groups, %d rows matched (scanned %d rows in %v)\n",
+			len(res.Groups), res.TotalCount(), res.PointsScanned, elapsed)
+	} else {
+		fmt.Printf("%d groups, %d rows matched\n", len(res.Groups), res.TotalCount())
+	}
 }
 
 // printStats prints the index-structure block (Tab 4 of the paper)

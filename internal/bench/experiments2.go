@@ -236,6 +236,7 @@ func All(w io.Writer, o Options) {
 	Fig12b(w, o)
 	Ablations(w, o)
 	Scan(w, o)
+	GroupBy(w, o)
 	Concurrency(w, o)
 	Sharded(w, o)
 	Rebalance(w, o)
@@ -272,6 +273,8 @@ func Run(w io.Writer, id string, o Options) error {
 		Ablations(w, o)
 	case "scan":
 		Scan(w, o)
+	case "groupby":
+		GroupBy(w, o)
 	case "concurrency":
 		Concurrency(w, o)
 	case "sharded":
@@ -285,7 +288,7 @@ func Run(w io.Writer, id string, o Options) error {
 	case "all":
 		All(w, o)
 	default:
-		return fmt.Errorf("unknown experiment %q (tab3, tab4, fig7, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, ablation, scan, concurrency, sharded, rebalance, obs, traffic, all)", id)
+		return fmt.Errorf("unknown experiment %q (tab3, tab4, fig7, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, ablation, scan, groupby, concurrency, sharded, rebalance, obs, traffic, all)", id)
 	}
 	return nil
 }

@@ -55,6 +55,9 @@ type Report struct {
 // three measure the serving-layer claims CI tracks over time.
 var jsonRunners = map[string]func(Options) (any, error){
 	"scan": func(o Options) (any, error) { return RunScanKernels(o), nil },
+	"groupby": func(o Options) (any, error) {
+		return RunGroupBy(o)
+	},
 	"concurrency": func(o Options) (any, error) {
 		return RunConcurrency(o)
 	},
@@ -93,7 +96,7 @@ func RunJSON(w io.Writer, ids []string, o Options) error {
 	for _, id := range ids {
 		run, ok := jsonRunners[id]
 		if !ok {
-			return fmt.Errorf("experiment %q has no JSON reporter (have: scan, concurrency, sharded, obs, traffic)", id)
+			return fmt.Errorf("experiment %q has no JSON reporter (have: scan, groupby, concurrency, sharded, obs, traffic)", id)
 		}
 		res, err := run(o)
 		if err != nil {

@@ -11,6 +11,7 @@ package colstore
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/query"
 )
@@ -19,12 +20,17 @@ import (
 type Store struct {
 	cols  [][]int64
 	names []string
+	// codeCache lazily holds one byte-coded image per column for the
+	// grouped low-cardinality fast path (grouped_codes.go); slots are
+	// invalidated by Reorder.
+	codeCache []atomic.Pointer[groupCodes]
 }
 
 // New creates a store with the given column names, all empty.
 func New(names ...string) *Store {
 	s := &Store{names: append([]string(nil), names...)}
 	s.cols = make([][]int64, len(names))
+	s.codeCache = make([]atomic.Pointer[groupCodes], len(names))
 	return s
 }
 
@@ -49,7 +55,11 @@ func FromColumns(cols [][]int64, names []string) (*Store, error) {
 	if len(names) != len(cols) {
 		return nil, fmt.Errorf("colstore: %d names for %d columns", len(names), len(cols))
 	}
-	return &Store{cols: cols, names: names}, nil
+	return &Store{
+		cols:      cols,
+		names:     names,
+		codeCache: make([]atomic.Pointer[groupCodes], len(cols)),
+	}, nil
 }
 
 // FromRows builds a store from row-major data.
@@ -139,6 +149,11 @@ func (s *Store) Reorder(perm []int) error {
 		}
 		copy(c, buf)
 	}
+	// The byte-coded group images alias the old row order; drop them so
+	// the next grouped scan rebuilds against the new layout.
+	for i := range s.codeCache {
+		s.codeCache[i].Store(nil)
+	}
 	return nil
 }
 
@@ -149,6 +164,7 @@ func (s *Store) Clone() *Store {
 	for j, c := range s.cols {
 		out.cols[j] = append([]int64(nil), c...)
 	}
+	out.codeCache = make([]atomic.Pointer[groupCodes], len(s.cols))
 	return out
 }
 

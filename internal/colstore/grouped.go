@@ -1,0 +1,731 @@
+package colstore
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/query"
+)
+
+// Grouped aggregation over the selection-vector pipeline.
+//
+// The flat kernels in kernels.go fuse filter evaluation and aggregation
+// and never materialize which rows matched. GROUP BY needs that
+// intermediate: the filter stage produces selection-mask words (bit k of
+// word w set iff row start+w*64+k matches every filter — the exact words
+// maskWordsAVX2 and maskWord already compute), and the grouping operator
+// consumes them column-at-a-time, folding each selected row's group-key
+// value into a per-group (count, sum) pair. SelVector exposes the mask
+// as a first-class value; GroupAccumulator is the operator.
+//
+// The accumulator has three regimes:
+//
+//   - Byte-code fast path (COUNT only): when the group column's whole
+//     value range spans at most maxFastGroups values, the store lazily
+//     byte-codes it (grouped_codes.go) and blocks are consumed by the
+//     byte-lane count kernels — 32 rows per compare instead of the mask
+//     kernels' 4, one pass over a 1-byte stream instead of one 8-byte
+//     pass per key. Single-filter COUNT blocks skip mask-word
+//     materialization entirely via the fused kernel. This is the regime
+//     the groupby bench experiment's acceptance ratio is measured in.
+//
+//   - Low-cardinality fast path: while the number of distinct keys seen
+//     stays at or below maxFastGroups, each block is aggregated with
+//     per-key equality masks — for every known key k, AND the selection
+//     words with the mask of (group column == k) using the same range
+//     kernels the filters use (width 0 makes the range compare an
+//     equality), then popcount/masked-sum the result. The group column
+//     is L1-resident after the first key's pass, so each additional key
+//     costs a cache-hot vector sweep instead of a per-row hash probe.
+//     Rows whose key is not yet known fall out as leftover bits and are
+//     folded individually (discovering new keys as they appear). This is
+//     the regime SUM stays in on a clustered or naturally
+//     low-cardinality group key (vendor id, passenger count, zone), and
+//     COUNT when the column's range is too wide to byte-code.
+//
+//   - Generic hash path: past maxFastGroups distinct keys the
+//     accumulator switches permanently to per-row accumulation into a
+//     dense array window (keys within denseGroupWindow of the first keys
+//     seen) backed by an overflow map, walking the set bits of each
+//     selection word. Exact for any key distribution, just not
+//     bandwidth-bound.
+//
+// Partials merge exactly: GroupedResult carries per-group (count, sum)
+// pairs sorted by key, and Merge is a sorted-list union that adds pairs
+// — so grouped results combine across regions, executor workers, and
+// shard scatter-gather precisely like flat ScanResults do, with AVG
+// derived from the merged pair, never averaged across partials.
+
+// SelVector is a materialized selection over a physical row range: bit k
+// of Words[w] is set iff row Start+w*64+k matched every filter. Bits at
+// or beyond Rows are always clear. It is the intermediate between the
+// filter stage (FilterRange, or the per-block masks inside
+// ScanRangeGrouped) and mask-consuming operators.
+type SelVector struct {
+	Start int      // physical row index of bit 0 of Words[0]
+	Rows  int      // rows covered; the tail of the last word is clear
+	Words []uint64 // ceil(Rows/64) mask words
+}
+
+// Reset re-targets the vector at rows [start, start+rows) with all bits
+// clear, reusing the existing words allocation when large enough.
+func (sv *SelVector) Reset(start, rows int) {
+	sv.Start, sv.Rows = start, rows
+	nw := (rows + 63) / 64
+	if cap(sv.Words) < nw {
+		sv.Words = make([]uint64, nw)
+		return
+	}
+	sv.Words = sv.Words[:nw]
+	for i := range sv.Words {
+		sv.Words[i] = 0
+	}
+}
+
+// OnesCount returns the number of selected rows.
+func (sv *SelVector) OnesCount() int {
+	n := 0
+	for _, w := range sv.Words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// FilterRange evaluates q's filters over physical rows [start, end) into
+// sv. If exact is true (or the query has no filters) every row is
+// selected without touching column data. Full 64-row words run on the
+// dispatched mask kernels (AVX2 or portable); the sub-word tail is
+// evaluated row-at-a-time. An inverted filter (Lo > Hi) selects nothing.
+func (s *Store) FilterRange(q query.Query, start, end int, exact bool, sv *SelVector) {
+	if start < 0 {
+		start = 0
+	}
+	if end > s.NumRows() {
+		end = s.NumRows()
+	}
+	if start >= end {
+		sv.Reset(start, 0)
+		return
+	}
+	n := end - start
+	sv.Reset(start, n)
+	nw := n >> 6
+	if exact || len(q.Filters) == 0 {
+		for w := 0; w < nw; w++ {
+			sv.Words[w] = ^uint64(0)
+		}
+		for i := nw * 64; i < n; i++ {
+			sv.Words[i>>6] |= 1 << (uint(i) & 63)
+		}
+		return
+	}
+	for _, f := range q.Filters {
+		if f.Lo > f.Hi {
+			return
+		}
+	}
+	if nw > 0 {
+		s.maskBlockInto(q.Filters, start, nw, sv.Words[:nw])
+	}
+	for i := nw * 64; i < n; i++ {
+		if s.rowMatches(q.Filters, start+i) {
+			sv.Words[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+}
+
+// maskBlockInto fills mask[0:nw] with the conjunction of the filters
+// over rows [start, start+nw*64): the first filter writes each word,
+// later filters AND into it (skipping words already dead). Returns the
+// OR of all words, so callers can skip fully-dead blocks.
+func (s *Store) maskBlockInto(filters []query.Filter, start, nw int, mask []uint64) uint64 {
+	var any uint64
+	for fi, f := range filters {
+		col := s.cols[f.Dim][start : start+nw*64]
+		width := uint64(f.Hi - f.Lo)
+		if fi == 0 {
+			any = maskWordsInto(col, mask, nw, f.Lo, width)
+		} else {
+			any = maskWordsAndInto(col, mask, nw, f.Lo, width)
+		}
+		if any == 0 {
+			break
+		}
+	}
+	return any
+}
+
+func (s *Store) rowMatches(filters []query.Filter, row int) bool {
+	for _, f := range filters {
+		if v := s.cols[f.Dim][row]; v < f.Lo || v > f.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// Portable mask-word helpers shared by every build; the dispatch
+// wrappers (grouped_dispatch_*.go) route to the AVX2 kernels when they
+// are compiled in and enabled.
+
+func maskWordsPortable(col []int64, out []uint64, nw int, lo int64, width uint64) uint64 {
+	var any uint64
+	for w := 0; w < nw; w++ {
+		m := maskWord(col[w*64:], lo, width)
+		out[w] = m
+		any |= m
+	}
+	return any
+}
+
+func maskWordsAndPortable(col []int64, out []uint64, nw int, lo int64, width uint64) uint64 {
+	var any uint64
+	for w := 0; w < nw; w++ {
+		m := out[w]
+		if m == 0 {
+			continue
+		}
+		m &= maskWord(col[w*64:], lo, width)
+		out[w] = m
+		any |= m
+	}
+	return any
+}
+
+func maskedSumPortable(agg []int64, mask []uint64, nw int) int64 {
+	var sum int64
+	for w := 0; w < nw; w++ {
+		if m := mask[w]; m != 0 {
+			sum += maskedSum(agg[w*64:], m)
+		}
+	}
+	return sum
+}
+
+// GroupAgg is one group's exact aggregate: the group-key value and the
+// (count, sum) pair over matching rows with that key.
+type GroupAgg struct {
+	Key   int64
+	Count uint64
+	Sum   int64
+}
+
+// Avg returns the group's mean aggregate value (Sum/Count), or 0 for an
+// empty group. Meaningful for SUM queries, whose groups carry the sum
+// alongside the match count.
+func (g GroupAgg) Avg() float64 {
+	if g.Count == 0 {
+		return 0
+	}
+	return float64(g.Sum) / float64(g.Count)
+}
+
+// GroupedResult is the grouped counterpart of ScanResult: one GroupAgg
+// per distinct group-key value among matching rows, sorted ascending by
+// key, plus the same scan-volume accounting.
+type GroupedResult struct {
+	GroupDim      int
+	Groups        []GroupAgg
+	PointsScanned uint64
+	BytesTouched  uint64
+}
+
+// Merge folds another grouped partial into r: a sorted-list union that
+// adds (count, sum) pairs for shared keys. Because the pairs are exact,
+// partials from disjoint scans (region splits, executor chunks, shard
+// scatter-gather) merge exactly — including per-group AVG, which is
+// derived from the merged pair via GroupAgg.Avg, never averaged across
+// partials.
+func (r *GroupedResult) Merge(o GroupedResult) {
+	r.PointsScanned += o.PointsScanned
+	r.BytesTouched += o.BytesTouched
+	if len(o.Groups) == 0 {
+		return
+	}
+	if len(r.Groups) == 0 {
+		r.GroupDim = o.GroupDim
+		r.Groups = append(r.Groups[:0], o.Groups...)
+		return
+	}
+	merged := make([]GroupAgg, 0, len(r.Groups)+len(o.Groups))
+	i, j := 0, 0
+	for i < len(r.Groups) && j < len(o.Groups) {
+		a, b := r.Groups[i], o.Groups[j]
+		switch {
+		case a.Key < b.Key:
+			merged = append(merged, a)
+			i++
+		case a.Key > b.Key:
+			merged = append(merged, b)
+			j++
+		default:
+			a.Count += b.Count
+			a.Sum += b.Sum
+			merged = append(merged, a)
+			i++
+			j++
+		}
+	}
+	merged = append(merged, r.Groups[i:]...)
+	merged = append(merged, o.Groups[j:]...)
+	r.Groups = merged
+}
+
+// Find returns the group for key and whether it exists (binary search
+// over the sorted groups).
+func (r GroupedResult) Find(key int64) (GroupAgg, bool) {
+	i := sort.Search(len(r.Groups), func(i int) bool { return r.Groups[i].Key >= key })
+	if i < len(r.Groups) && r.Groups[i].Key == key {
+		return r.Groups[i], true
+	}
+	return GroupAgg{}, false
+}
+
+// TotalCount returns the number of matching rows across all groups.
+func (r GroupedResult) TotalCount() uint64 {
+	var n uint64
+	for _, g := range r.Groups {
+		n += g.Count
+	}
+	return n
+}
+
+// Clone deep-copies the result, so cached grouped results can be handed
+// out without aliasing the cache's groups slice.
+func (r GroupedResult) Clone() GroupedResult {
+	out := r
+	out.Groups = append([]GroupAgg(nil), r.Groups...)
+	return out
+}
+
+const (
+	// maxFastGroups bounds the per-key equality-mask fast path: beyond
+	// this many distinct keys the per-block sweep cost (one cache-hot
+	// vector pass per key) overtakes per-row hashing and the
+	// accumulator switches to the generic path.
+	maxFastGroups = 32
+	// denseGroupWindow is the generic path's array-window size: keys
+	// within this range of the window base index a dense cell array
+	// (one add, no hashing); keys outside it hit the overflow map.
+	denseGroupWindow = 1 << 16
+)
+
+// MaxFastGroups reports the fast-path key bound: grouped scans whose
+// group column has at most this many distinct keys stay on the per-key
+// equality-mask sweep. Exported for benchmarks and experiments that
+// classify which regime a shape landed in.
+func MaxFastGroups() int { return maxFastGroups }
+
+type groupCell struct {
+	count uint64
+	sum   int64
+}
+
+// GroupAccumulator accumulates grouped (count, sum) pairs across any
+// number of ScanRangeGrouped calls (regions, chunks) plus individually
+// added rows (delta buffers), then emits one sorted GroupedResult. It is
+// not safe for concurrent use; parallel executors give each worker its
+// own accumulator and Merge the results.
+type GroupAccumulator struct {
+	dim int
+
+	// Fast path: discovery-ordered distinct keys with parallel cells.
+	keys  []int64
+	cells []groupCell
+
+	// Generic path, engaged permanently once len(keys) would exceed
+	// maxFastGroups.
+	generic  bool
+	base     int64
+	dense    []groupCell
+	overflow map[int64]*groupCell
+
+	// Byte-code fast path (COUNT only): one count per code over the
+	// store's byte-coded group column, merged with the other regimes'
+	// cells in Result. codeSplat is the kernels' key operand — each code
+	// as a 32-byte broadcast block, padded to a multiple of 8 keys with
+	// the 0xFF sentinel no code reaches.
+	codeBase   int64
+	codeN      int
+	codeCounts []uint64
+	codeSplat  []byte
+
+	points uint64
+	bytes  uint64
+
+	sel     SelVector          // per-block selection vector
+	scratch [blockWords]uint64 // per-key eq-mask AND buffer
+	left    [blockWords]uint64 // leftover (unknown-key) bits
+}
+
+// NewGroupAccumulator returns an accumulator for q's group dimension.
+func NewGroupAccumulator(q query.Query) *GroupAccumulator {
+	return &GroupAccumulator{
+		dim: q.GroupDim(),
+		sel: SelVector{Words: make([]uint64, blockWords)},
+	}
+}
+
+// AddRow folds one matching row (its group-key value and, for SUM, its
+// aggregate value — pass 0 for COUNT) into the accumulator. Used by the
+// delta-buffer scan and scalar fallbacks; scan-volume accounting is the
+// caller's via AddScanned.
+func (a *GroupAccumulator) AddRow(key, aggVal int64) { a.add1(key, aggVal) }
+
+// AddScanned charges scan volume to the accumulator's accounting.
+func (a *GroupAccumulator) AddScanned(points, bytes uint64) {
+	a.points += points
+	a.bytes += bytes
+}
+
+func (a *GroupAccumulator) add1(k, v int64) {
+	if !a.generic {
+		for i, kk := range a.keys {
+			if kk == k {
+				a.cells[i].count++
+				a.cells[i].sum += v
+				return
+			}
+		}
+		if len(a.keys) < maxFastGroups {
+			a.keys = append(a.keys, k)
+			a.cells = append(a.cells, groupCell{count: 1, sum: v})
+			return
+		}
+		a.switchToGeneric()
+	}
+	if idx := uint64(k - a.base); idx < uint64(len(a.dense)) {
+		a.dense[idx].count++
+		a.dense[idx].sum += v
+		return
+	}
+	c := a.overflow[k]
+	if c == nil {
+		c = &groupCell{}
+		a.overflow[k] = c
+	}
+	c.count++
+	c.sum += v
+}
+
+// switchToGeneric migrates the fast-path cells into the dense window
+// (anchored at the smallest key seen so far) plus the overflow map.
+func (a *GroupAccumulator) switchToGeneric() {
+	a.base = a.keys[0]
+	for _, k := range a.keys[1:] {
+		if k < a.base {
+			a.base = k
+		}
+	}
+	a.dense = make([]groupCell, denseGroupWindow)
+	a.overflow = make(map[int64]*groupCell)
+	for i, k := range a.keys {
+		if idx := uint64(k - a.base); idx < uint64(len(a.dense)) {
+			a.dense[idx] = a.cells[i]
+		} else {
+			c := a.cells[i]
+			a.overflow[k] = &c
+		}
+	}
+	a.keys, a.cells = nil, nil
+	a.generic = true
+}
+
+// consumeWords folds the selected rows of one block into the
+// accumulator. gcol and agg are the group-key and aggregate column
+// slices aligned with a.sel's words (agg nil for COUNT); nw is the
+// number of full mask words.
+func (a *GroupAccumulator) consumeWords(gcol, agg []int64, nw int) {
+	if a.generic {
+		a.consumeWordsGeneric(gcol, agg, nw)
+		return
+	}
+	// Per known key: eq-mask the group column against the selection and
+	// popcount/masked-sum the intersection. left tracks rows no known
+	// key claimed — keys not seen before this block.
+	left := a.left[:nw]
+	copy(left, a.sel.Words[:nw])
+	for ki, k := range a.keys {
+		copy(a.scratch[:nw], a.sel.Words[:nw])
+		if maskWordsAndInto(gcol, a.scratch[:nw], nw, k, 0) == 0 {
+			continue
+		}
+		cnt := 0
+		for w := 0; w < nw; w++ {
+			m := a.scratch[w]
+			cnt += bits.OnesCount64(m)
+			left[w] &^= m
+		}
+		a.cells[ki].count += uint64(cnt)
+		if agg != nil {
+			a.cells[ki].sum += maskedSumWords(agg, a.scratch[:nw], nw)
+		}
+	}
+	for w := 0; w < nw; w++ {
+		m := left[w]
+		for m != 0 {
+			i := w*64 + bits.TrailingZeros64(m)
+			m &= m - 1
+			var v int64
+			if agg != nil {
+				v = agg[i]
+			}
+			a.add1(gcol[i], v)
+		}
+	}
+}
+
+// codesCompatible reports whether the accumulator can take byte-coded
+// counts for a column coded as (base, n) — either it has no code state
+// yet, or the coding matches what it already holds. Scans of a store
+// whose coding differs (another shard's clone, a differently-based
+// column) fall back to the mask-word path; Result still merges exactly.
+func (a *GroupAccumulator) codesCompatible(base int64, n int) bool {
+	return a.codeCounts == nil || (a.codeBase == base && a.codeN == n)
+}
+
+// ensureCodes arms the byte-code path for a column coded as (base, n):
+// counts and the kernels' splatted-key operand, both padded to a
+// multiple of 8 keys with the 0xFF sentinel (codes are < maxFastGroups,
+// so the padding never matches and its counts stay zero).
+func (a *GroupAccumulator) ensureCodes(base int64, n int) {
+	if a.codeCounts != nil {
+		return
+	}
+	a.codeBase, a.codeN = base, n
+	nb := (n + 7) / 8
+	a.codeCounts = make([]uint64, nb*8)
+	a.codeSplat = make([]byte, nb*8*32)
+	for i := range a.codeSplat {
+		a.codeSplat[i] = 0xFF
+	}
+	for c := 0; c < n; c++ {
+		for j := 0; j < 32; j++ {
+			a.codeSplat[c*32+j] = byte(c)
+		}
+	}
+}
+
+// consumeCodes folds the selected rows of one block into the per-code
+// counts. codes is the byte-coded group column aligned with a.sel's
+// words; nw is the number of full mask words.
+func (a *GroupAccumulator) consumeCodes(codes []byte, nw int) {
+	groupCountCodes(codes, a.sel.Words[:nw], nw, a.codeSplat, a.codeCounts, a.codeN)
+}
+
+func (a *GroupAccumulator) consumeWordsGeneric(gcol, agg []int64, nw int) {
+	for w := 0; w < nw; w++ {
+		m := a.sel.Words[w]
+		for m != 0 {
+			i := w*64 + bits.TrailingZeros64(m)
+			m &= m - 1
+			var v int64
+			if agg != nil {
+				v = agg[i]
+			}
+			a.add1(gcol[i], v)
+		}
+	}
+}
+
+// Result assembles the accumulated groups into a sorted GroupedResult.
+// The accumulator remains usable (further scans keep accumulating).
+func (a *GroupAccumulator) Result() GroupedResult {
+	res := GroupedResult{
+		GroupDim:      a.dim,
+		PointsScanned: a.points,
+		BytesTouched:  a.bytes,
+	}
+	if !a.generic {
+		for i, k := range a.keys {
+			if c := a.cells[i]; c.count > 0 {
+				res.Groups = append(res.Groups, GroupAgg{Key: k, Count: c.count, Sum: c.sum})
+			}
+		}
+	} else {
+		for i := range a.dense {
+			if c := a.dense[i]; c.count > 0 {
+				res.Groups = append(res.Groups, GroupAgg{Key: a.base + int64(i), Count: c.count, Sum: c.sum})
+			}
+		}
+		for k, c := range a.overflow {
+			if c.count > 0 {
+				res.Groups = append(res.Groups, GroupAgg{Key: k, Count: c.count, Sum: c.sum})
+			}
+		}
+	}
+	sort.Slice(res.Groups, func(i, j int) bool { return res.Groups[i].Key < res.Groups[j].Key })
+	if a.codeCounts != nil {
+		// Fold the byte-code counts in as one more exact partial (already
+		// sorted: code c maps to key codeBase+c, ascending). Rows that
+		// reached the accumulator outside coded scans (AddRow, scalar
+		// tails, differently-coded stores) live in the other regimes'
+		// cells; Merge unions them precisely.
+		cr := GroupedResult{GroupDim: a.dim}
+		for c, cnt := range a.codeCounts {
+			if cnt > 0 {
+				cr.Groups = append(cr.Groups, GroupAgg{Key: a.codeBase + int64(c), Count: cnt})
+			}
+		}
+		res.Merge(cr)
+	}
+	return res
+}
+
+// ScanRangeGrouped scans physical rows [start, end) against q and folds
+// matching rows into acc, grouped by q.GroupDim(). exact has the same
+// meaning as in ScanRange — every row in the range is known to match, so
+// filter columns are not read — but the group column (and the aggregate
+// column for SUM) is always touched: a grouped aggregate cannot skip
+// data the way an exact flat COUNT can.
+//
+// Accounting mirrors ScanRange's planned-bytes model with the group
+// column as one extra stream: n*8*(filters + 1 + sumCols) bytes
+// non-exact, n*8*(1 + sumCols) exact.
+func (s *Store) ScanRangeGrouped(q query.Query, start, end int, exact bool, acc *GroupAccumulator) {
+	if start < 0 {
+		start = 0
+	}
+	if end > s.NumRows() {
+		end = s.NumRows()
+	}
+	if start >= end {
+		return
+	}
+	n := uint64(end - start)
+	acc.points += n
+	if exact {
+		acc.bytes += n * 8 * uint64(1+sumCols(q))
+	} else {
+		acc.bytes += n * 8 * uint64(len(q.Filters)+1+sumCols(q))
+		for _, f := range q.Filters {
+			if f.Lo > f.Hi {
+				return
+			}
+		}
+	}
+	gcol := s.cols[q.GroupDim()]
+	var aggCol []int64
+	if q.Agg == query.Sum {
+		aggCol = s.cols[q.AggDim]
+	}
+	// Byte-code fast path (COUNT only): consume blocks through the
+	// byte-lane count kernels when the group column codes into the
+	// fast-group window and the accumulator's code state (if any)
+	// matches this store's coding.
+	var codes []byte
+	if q.Agg == query.Count {
+		if gc := s.groupCodesFor(q.GroupDim()); gc != nil && acc.codesCompatible(gc.base, gc.n) {
+			acc.ensureCodes(gc.base, gc.n)
+			codes = gc.codes
+		}
+	}
+	noFilter := exact || len(q.Filters) == 0
+	for b0 := start; b0 < end; b0 += blockRows {
+		bn := end - b0
+		if bn > blockRows {
+			bn = blockRows
+		}
+		nw := bn >> 6
+		if nw > 0 {
+			fused := false
+			if codes != nil && !noFilter && len(q.Filters) == 1 {
+				// Single-filter COUNT: the fused kernel evaluates the
+				// range predicate and consumes the codes in one pass,
+				// never materializing mask words.
+				f := q.Filters[0]
+				fused = groupScanBlockOneFilterCodes(
+					s.cols[f.Dim][b0:b0+nw*64], codes[b0:b0+nw*64],
+					f.Lo, uint64(f.Hi-f.Lo),
+					acc.codeSplat, acc.codeCounts, acc.codeN)
+			}
+			if !fused {
+				acc.sel.Start, acc.sel.Rows = b0, nw*64
+				var any uint64
+				if noFilter {
+					for w := 0; w < nw; w++ {
+						acc.sel.Words[w] = ^uint64(0)
+					}
+					any = ^uint64(0)
+				} else {
+					any = s.maskBlockInto(q.Filters, b0, nw, acc.sel.Words[:nw])
+				}
+				if any != 0 {
+					if codes != nil {
+						acc.consumeCodes(codes[b0:b0+nw*64], nw)
+					} else {
+						var agg []int64
+						if aggCol != nil {
+							agg = aggCol[b0 : b0+nw*64]
+						}
+						acc.consumeWords(gcol[b0:b0+nw*64], agg, nw)
+					}
+				}
+			}
+		}
+		for i := b0 + nw*64; i < b0+bn; i++ {
+			if noFilter || s.rowMatches(q.Filters, i) {
+				var v int64
+				if aggCol != nil {
+					v = aggCol[i]
+				}
+				acc.add1(gcol[i], v)
+			}
+		}
+	}
+}
+
+// ScanRangeGroupedScalar is the row-at-a-time grouped scan, retained as
+// the oracle ScanRangeGrouped is property-tested and benchmarked
+// against. It merges its groups into res with identical accounting.
+func (s *Store) ScanRangeGroupedScalar(q query.Query, start, end int, exact bool, res *GroupedResult) {
+	if start < 0 {
+		start = 0
+	}
+	if end > s.NumRows() {
+		end = s.NumRows()
+	}
+	if start >= end {
+		return
+	}
+	n := uint64(end - start)
+	part := GroupedResult{GroupDim: q.GroupDim(), PointsScanned: n}
+	if exact {
+		part.BytesTouched = n * 8 * uint64(1+sumCols(q))
+	} else {
+		part.BytesTouched = n * 8 * uint64(len(q.Filters)+1+sumCols(q))
+		for _, f := range q.Filters {
+			if f.Lo > f.Hi {
+				res.Merge(part)
+				return
+			}
+		}
+	}
+	gcol := s.cols[q.GroupDim()]
+	groups := make(map[int64]groupCell)
+	for i := start; i < end; i++ {
+		if !exact {
+			ok := true
+			for _, f := range q.Filters {
+				if v := s.cols[f.Dim][i]; v < f.Lo || v > f.Hi {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+		c := groups[gcol[i]]
+		c.count++
+		if q.Agg == query.Sum {
+			c.sum += s.cols[q.AggDim][i]
+		}
+		groups[gcol[i]] = c
+	}
+	for k, c := range groups {
+		part.Groups = append(part.Groups, GroupAgg{Key: k, Count: c.count, Sum: c.sum})
+	}
+	sort.Slice(part.Groups, func(i, j int) bool { return part.Groups[i].Key < part.Groups[j].Key })
+	res.Merge(part)
+}

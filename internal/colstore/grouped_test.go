@@ -1,0 +1,307 @@
+package colstore
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// groupedOracle computes the grouped aggregate row-at-a-time from the
+// raw columns, independent of both grouped scan implementations.
+func groupedOracle(s *Store, q query.Query, start, end int, exact bool) []GroupAgg {
+	if start < 0 {
+		start = 0
+	}
+	if end > s.NumRows() {
+		end = s.NumRows()
+	}
+	type pair struct {
+		count uint64
+		sum   int64
+	}
+	groups := map[int64]pair{}
+	for i := start; i < end; i++ {
+		if !exact {
+			ok := true
+			for _, f := range q.Filters {
+				if v := s.Value(i, f.Dim); v < f.Lo || v > f.Hi {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+		k := s.Value(i, q.GroupDim())
+		p := groups[k]
+		p.count++
+		if q.Agg == query.Sum {
+			p.sum += s.Value(i, q.AggDim)
+		}
+		groups[k] = p
+	}
+	keys := make([]int64, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	out := make([]GroupAgg, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, GroupAgg{Key: k, Count: groups[k].count, Sum: groups[k].sum})
+	}
+	return out
+}
+
+// randGroupedStore builds a store whose group columns span cardinality
+// regimes: g_low stays on the equality-mask fast path, g_mid straddles
+// the maxFastGroups switch, g_high forces the dense window + overflow
+// map, g_wild scatters keys across the whole int64 domain.
+func randGroupedStore(t *testing.T, rng *rand.Rand, rows int) *Store {
+	cols := [][]int64{
+		make([]int64, rows), // d0: filter column, uniform [0, 1000)
+		make([]int64, rows), // d1: filter column, uniform [0, 1000)
+		make([]int64, rows), // d2: aggregate column, may be negative
+		make([]int64, rows), // g_low: 6 distinct keys
+		make([]int64, rows), // g_mid: ~48 distinct keys
+		make([]int64, rows), // g_high: ~100k-spread keys
+		make([]int64, rows), // g_wild: full-domain keys from a small pool
+	}
+	wild := []int64{-1 << 62, -977, 0, 3, 1 << 40, 1<<62 + 11}
+	for i := 0; i < rows; i++ {
+		cols[0][i] = rng.Int63n(1000)
+		cols[1][i] = rng.Int63n(1000)
+		cols[2][i] = rng.Int63n(2001) - 1000
+		cols[3][i] = 1 + rng.Int63n(6)
+		cols[4][i] = rng.Int63n(48) * 7
+		cols[5][i] = rng.Int63n(100_000) - 50_000
+		cols[6][i] = wild[rng.Intn(len(wild))]
+	}
+	s, err := FromColumns(cols, []string{"f0", "f1", "val", "g_low", "g_mid", "g_high", "g_wild"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func randGroupedQuery(rng *rand.Rand) query.Query {
+	var fs []query.Filter
+	for _, dim := range []int{0, 1} {
+		switch rng.Intn(3) {
+		case 0: // no filter on this dim
+		case 1:
+			lo := rng.Int63n(1000)
+			fs = append(fs, query.Filter{Dim: dim, Lo: lo, Hi: lo + rng.Int63n(600)})
+		case 2:
+			v := rng.Int63n(1000)
+			fs = append(fs, query.Filter{Dim: dim, Lo: v, Hi: v})
+		}
+	}
+	var q query.Query
+	if rng.Intn(2) == 0 {
+		q = query.NewCount(fs...)
+	} else {
+		q = query.NewSum(2, fs...)
+	}
+	return q.By(3 + rng.Intn(4))
+}
+
+// TestScanRangeGroupedMatchesOracle pins the grouped kernel scan and the
+// scalar grouped scan to an independent row-at-a-time oracle across
+// random queries, unaligned ranges, every group-cardinality regime, and
+// both kernel tiers.
+func TestScanRangeGroupedMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := randGroupedStore(t, rng, 10_000)
+
+	check := func(t *testing.T, q query.Query, start, end int, exact bool) {
+		t.Helper()
+		if exact {
+			// exact promises every row matches; only valid with no filters
+			q.Filters = nil
+		}
+		want := groupedOracle(s, q, start, end, exact)
+
+		acc := NewGroupAccumulator(q)
+		s.ScanRangeGrouped(q, start, end, exact, acc)
+		got := acc.Result()
+		if !reflect.DeepEqual(got.Groups, want) && !(len(got.Groups) == 0 && len(want) == 0) {
+			t.Fatalf("kernel mismatch for %v rows [%d,%d) exact=%v:\n got %v\nwant %v",
+				q, start, end, exact, got.Groups, want)
+		}
+
+		var sc GroupedResult
+		s.ScanRangeGroupedScalar(q, start, end, exact, &sc)
+		if !reflect.DeepEqual(sc.Groups, want) && !(len(sc.Groups) == 0 && len(want) == 0) {
+			t.Fatalf("scalar mismatch for %v rows [%d,%d) exact=%v:\n got %v\nwant %v",
+				q, start, end, exact, sc.Groups, want)
+		}
+		if got.PointsScanned != sc.PointsScanned || got.BytesTouched != sc.BytesTouched {
+			t.Fatalf("accounting mismatch for %v: kernel (%d,%d) scalar (%d,%d)",
+				q, got.PointsScanned, got.BytesTouched, sc.PointsScanned, sc.BytesTouched)
+		}
+	}
+
+	run := func(t *testing.T) {
+		for i := 0; i < 60; i++ {
+			q := randGroupedQuery(rng)
+			start := rng.Intn(s.NumRows())
+			end := start + rng.Intn(s.NumRows()-start+1)
+			check(t, q, start, end, false)
+		}
+		// Exact ranges, full range, empty range, sub-word range, inverted filter.
+		check(t, query.NewCount().By(3), 0, s.NumRows(), true)
+		check(t, query.NewSum(2).By(5), 100, 4321, true)
+		check(t, query.NewCount().By(6), 0, s.NumRows(), false)
+		check(t, query.NewCount(query.Filter{Dim: 0, Lo: 10, Hi: 700}).By(4), 500, 500, false)
+		check(t, query.NewCount(query.Filter{Dim: 0, Lo: 10, Hi: 700}).By(4), 65, 100, false)
+		check(t, query.NewCount(query.Filter{Dim: 0, Lo: 700, Hi: 10}).By(3), 0, s.NumRows(), false)
+	}
+
+	if SIMDAvailable() {
+		t.Run("simd", func(t *testing.T) {
+			prev := SetSIMD(true)
+			defer SetSIMD(prev)
+			run(t)
+		})
+	}
+	t.Run("portable", func(t *testing.T) {
+		prev := SetSIMD(false)
+		defer SetSIMD(prev)
+		run(t)
+	})
+}
+
+// TestGroupedResultMerge checks the sorted-union merge against
+// accumulating everything in one pass, split at arbitrary boundaries.
+func TestGroupedResultMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := randGroupedStore(t, rng, 8_000)
+	for i := 0; i < 30; i++ {
+		q := randGroupedQuery(rng)
+		cut1 := rng.Intn(s.NumRows())
+		cut2 := cut1 + rng.Intn(s.NumRows()-cut1)
+
+		whole := NewGroupAccumulator(q)
+		s.ScanRangeGrouped(q, 0, s.NumRows(), false, whole)
+		want := whole.Result()
+
+		var merged GroupedResult
+		for _, span := range [][2]int{{0, cut1}, {cut1, cut2}, {cut2, s.NumRows()}} {
+			part := NewGroupAccumulator(q)
+			s.ScanRangeGrouped(q, span[0], span[1], false, part)
+			merged.Merge(part.Result())
+		}
+		if !reflect.DeepEqual(merged.Groups, want.Groups) && !(len(merged.Groups) == 0 && len(want.Groups) == 0) {
+			t.Fatalf("merge mismatch for %v split at %d,%d:\n got %v\nwant %v",
+				q, cut1, cut2, merged.Groups, want.Groups)
+		}
+		if merged.PointsScanned != want.PointsScanned || merged.BytesTouched != want.BytesTouched {
+			t.Fatalf("merge accounting mismatch for %v", q)
+		}
+	}
+}
+
+// TestFilterRangeMatchesMatches pins the public selection-vector filter
+// stage to Query.MatchesRow row by row.
+func TestFilterRangeMatchesMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := randGroupedStore(t, rng, 3_000)
+	row := make([]int64, s.NumDims())
+	for i := 0; i < 40; i++ {
+		q := randGroupedQuery(rng)
+		start := rng.Intn(s.NumRows())
+		end := start + rng.Intn(s.NumRows()-start+1)
+		var sv SelVector
+		s.FilterRange(q, start, end, false, &sv)
+		if sv.Start != start || sv.Rows != end-start {
+			t.Fatalf("FilterRange bounds: got [%d,+%d) want [%d,+%d)", sv.Start, sv.Rows, start, end-start)
+		}
+		for r := start; r < end; r++ {
+			bit := sv.Words[(r-start)>>6]>>(uint(r-start)&63)&1 == 1
+			if want := q.MatchesRow(s.Row(r, row)); bit != want {
+				t.Fatalf("row %d: sel bit %v, MatchesRow %v (query %v)", r, bit, want, q)
+			}
+		}
+	}
+}
+
+// TestGroupAggAvg pins per-group AVG to the merged pair.
+func TestGroupAggAvg(t *testing.T) {
+	g := GroupAgg{Key: 1, Count: 4, Sum: -10}
+	if got := g.Avg(); got != -2.5 {
+		t.Fatalf("Avg = %v, want -2.5", got)
+	}
+	if got := (GroupAgg{}).Avg(); got != 0 {
+		t.Fatalf("empty Avg = %v, want 0", got)
+	}
+}
+
+// TestGroupCodesReorderInvalidation pins the byte-code cache's Reorder
+// contract: a grouped COUNT that built the coded image must stay
+// oracle-identical after the store is physically permuted (index builds
+// Reorder after cloning — stale codes would silently misattribute every
+// row's group).
+func TestGroupCodesReorderInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := randGroupedStore(t, rng, 5_000)
+	q := query.NewCount(query.Filter{Dim: 0, Lo: 100, Hi: 800}).By(3)
+
+	acc := NewGroupAccumulator(q)
+	s.ScanRangeGrouped(q, 0, s.NumRows(), false, acc)
+	if got, want := acc.Result().Groups, groupedOracle(s, q, 0, s.NumRows(), false); !reflect.DeepEqual(got, want) {
+		t.Fatalf("pre-reorder mismatch:\n got %v\nwant %v", got, want)
+	}
+
+	perm := rng.Perm(s.NumRows())
+	if err := s.Reorder(perm); err != nil {
+		t.Fatal(err)
+	}
+	acc = NewGroupAccumulator(q)
+	s.ScanRangeGrouped(q, 0, s.NumRows(), false, acc)
+	if got, want := acc.Result().Groups, groupedOracle(s, q, 0, s.NumRows(), false); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-reorder mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestGroupCodesCrossStoreMerge drives one accumulator across two stores
+// whose group columns code with different bases (as a scatter-gather
+// worker might see across differently-valued shards): the second store's
+// scan must fall back to the mask-word path and Result must still union
+// both exactly.
+func TestGroupCodesCrossStoreMerge(t *testing.T) {
+	rows := 2_000
+	mk := func(base int64, seed int64) *Store {
+		rng := rand.New(rand.NewSource(seed))
+		cols := [][]int64{make([]int64, rows), make([]int64, rows)}
+		for i := 0; i < rows; i++ {
+			cols[0][i] = rng.Int63n(1000)
+			cols[1][i] = base + rng.Int63n(5)
+		}
+		s, err := FromColumns(cols, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(10, 19), mk(-3, 23)
+	q := query.NewCount(query.Filter{Dim: 0, Lo: 200, Hi: 900}).By(1)
+
+	acc := NewGroupAccumulator(q)
+	a.ScanRangeGrouped(q, 0, rows, false, acc)
+	b.ScanRangeGrouped(q, 0, rows, false, acc)
+	got := acc.Result()
+
+	var want GroupedResult
+	a.ScanRangeGroupedScalar(q, 0, rows, false, &want)
+	b.ScanRangeGroupedScalar(q, 0, rows, false, &want)
+	if !reflect.DeepEqual(got.Groups, want.Groups) {
+		t.Fatalf("cross-store mismatch:\n got %v\nwant %v", got.Groups, want.Groups)
+	}
+}

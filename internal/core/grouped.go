@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/auggrid"
+	"repro/internal/colstore"
+	"repro/internal/gridtree"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// Grouped execution mirrors the flat paths in tsunami.go stage for
+// stage: Grid Tree routing and physical-range planning are identical
+// (GROUP BY never changes which rows a query touches, only what is
+// folded per matching row), the per-range scan runs the grouped
+// selection-vector kernel, and partials merge exactly because every
+// group carries a (count, sum) pair.
+
+// ExecuteGrouped answers a grouped aggregate query sequentially:
+// traverse the Grid Tree, fold each routed region (grid or plain range)
+// into one accumulator, fold the buffered delta rows, and assemble the
+// sorted per-group result. The concurrency contract matches Execute.
+func (t *Tsunami) ExecuteGrouped(q query.Query) colstore.GroupedResult {
+	ctx := execCtxPool.Get().(*execContext)
+	defer execCtxPool.Put(ctx)
+	ctx.regions = t.tree.FindRegions(q, ctx.regions[:0])
+	return t.executeRegionsGrouped(q, ctx.regions, ctx.grid)
+}
+
+func (t *Tsunami) executeRegionsGrouped(q query.Query, regions []*gridtree.Region, gctx *auggrid.ExecContext) colstore.GroupedResult {
+	acc := colstore.NewGroupAccumulator(q)
+	for _, r := range regions {
+		t.executeRegionGrouped(q, r, gctx, acc)
+	}
+	t.scanDeltasGrouped(q, regions, acc)
+	return acc.Result()
+}
+
+// executeRegionGrouped answers q within one region: grid regions plan
+// through their Augmented Grid, unindexed regions scan their physical
+// range, both through the grouped kernel.
+func (t *Tsunami) executeRegionGrouped(q query.Query, r *gridtree.Region, gctx *auggrid.ExecContext, acc *colstore.GroupAccumulator) {
+	if g := t.grids[r.ID]; g != nil {
+		g.ExecuteGrouped(q, gctx, acc)
+		return
+	}
+	b := t.bounds[r.ID]
+	t.store.ScanRangeGrouped(q, b[0], b[1], regionContained(q, r), acc)
+}
+
+// scanDeltasGrouped folds matching buffered rows of the routed regions
+// into the accumulator, mirroring scanDeltas' accounting (each buffered
+// row is one scanned point).
+func (t *Tsunami) scanDeltasGrouped(q query.Query, regions []*gridtree.Region, acc *colstore.GroupAccumulator) {
+	if t.numBuffered == 0 {
+		return
+	}
+	gd := q.GroupDim()
+	for _, r := range regions {
+		d := t.deltas[r.ID]
+		if d == nil {
+			continue
+		}
+		for _, row := range d.rows {
+			acc.AddScanned(1, 0)
+			if q.MatchesRow(row) {
+				var v int64
+				if q.Agg == query.Sum {
+					v = row[q.AggDim]
+				}
+				acc.AddRow(row[gd], v)
+			}
+		}
+	}
+}
+
+// ExecuteGroupedParallel answers one grouped query with intra-query
+// parallelism, mirroring ExecuteParallel: workers drain regions (or
+// sub-region chunks) into per-worker accumulators and the sorted
+// partials merge exactly.
+func (t *Tsunami) ExecuteGroupedParallel(q query.Query, workers int) colstore.GroupedResult {
+	return t.ExecuteGroupedParallelOn(q, workers, nil)
+}
+
+// ExecuteGroupedParallelOn is ExecuteGroupedParallel with task
+// scheduling delegated to the caller, with the same submit contract as
+// ExecuteParallelOn: tasks never block on other tasks, so a shared pool
+// cannot deadlock.
+func (t *Tsunami) ExecuteGroupedParallelOn(q query.Query, workers int, submit func(task func())) colstore.GroupedResult {
+	ctx := execCtxPool.Get().(*execContext)
+	defer execCtxPool.Put(ctx)
+	ctx.regions = t.tree.FindRegions(q, ctx.regions[:0])
+	regions := ctx.regions
+	if workers <= 1 || len(regions) == 0 {
+		return t.executeRegionsGrouped(q, regions, ctx.grid)
+	}
+	if submit == nil {
+		submit = func(task func()) { go task() }
+	}
+	if len(regions) < 4*workers {
+		return t.executeGroupedChunked(q, regions, ctx, workers, submit)
+	}
+	if workers > len(regions) {
+		workers = len(regions)
+	}
+
+	var cursor atomic.Int64
+	partial := make([]colstore.GroupedResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		w := w
+		submit(func() {
+			defer wg.Done()
+			gctx := auggrid.GetExecContext()
+			defer auggrid.PutExecContext(gctx)
+			acc := colstore.NewGroupAccumulator(q)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(regions) {
+					break
+				}
+				t.executeRegionGrouped(q, regions[i], gctx, acc)
+			}
+			partial[w] = acc.Result()
+		})
+	}
+	wg.Wait()
+	var res colstore.GroupedResult
+	for _, p := range partial {
+		res.Merge(p)
+	}
+	t.mergeDeltasGrouped(q, regions, &res)
+	return res
+}
+
+// executeGroupedChunked is the sub-region grouped parallel path: the
+// same chunk plan as executeChunked, drained into per-worker grouped
+// accumulators.
+func (t *Tsunami) executeGroupedChunked(q query.Query, regions []*gridtree.Region, ctx *execContext, workers int, submit func(task func())) colstore.GroupedResult {
+	ctx.phys = ctx.phys[:0]
+	for _, r := range regions {
+		if g := t.grids[r.ID]; g != nil {
+			ctx.phys, _ = g.PlanRanges(q, ctx.grid, ctx.phys)
+			continue
+		}
+		b := t.bounds[r.ID]
+		if b[0] < b[1] {
+			ctx.phys = append(ctx.phys, auggrid.PhysRange{Start: b[0], End: b[1], Exact: regionContained(q, r)})
+		}
+	}
+	ctx.chunks = ctx.chunks[:0]
+	for _, pr := range ctx.phys {
+		for s := pr.Start; s < pr.End; s += chunkRows {
+			e := s + chunkRows
+			if e > pr.End {
+				e = pr.End
+			}
+			ctx.chunks = append(ctx.chunks, auggrid.PhysRange{Start: s, End: e, Exact: pr.Exact})
+		}
+	}
+	chunks := ctx.chunks
+	if len(chunks) < 2 || workers <= 1 {
+		acc := colstore.NewGroupAccumulator(q)
+		for _, c := range chunks {
+			t.store.ScanRangeGrouped(q, c.Start, c.End, c.Exact, acc)
+		}
+		t.scanDeltasGrouped(q, regions, acc)
+		return acc.Result()
+	}
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	var cursor atomic.Int64
+	partial := make([]colstore.GroupedResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		w := w
+		submit(func() {
+			defer wg.Done()
+			acc := colstore.NewGroupAccumulator(q)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(chunks) {
+					break
+				}
+				c := chunks[i]
+				t.store.ScanRangeGrouped(q, c.Start, c.End, c.Exact, acc)
+			}
+			partial[w] = acc.Result()
+		})
+	}
+	wg.Wait()
+	var res colstore.GroupedResult
+	for _, p := range partial {
+		res.Merge(p)
+	}
+	t.mergeDeltasGrouped(q, regions, &res)
+	return res
+}
+
+// mergeDeltasGrouped folds the delta buffers into an already-merged
+// result (the parallel paths, where workers' partials are combined
+// first).
+func (t *Tsunami) mergeDeltasGrouped(q query.Query, regions []*gridtree.Region, res *colstore.GroupedResult) {
+	if t.numBuffered == 0 {
+		return
+	}
+	acc := colstore.NewGroupAccumulator(q)
+	t.scanDeltasGrouped(q, regions, acc)
+	res.Merge(acc.Result())
+}
+
+// ExecuteGroupedTrace answers a grouped query exactly like
+// ExecuteGrouped while recording an explain-analyze trace: routing,
+// the fused scan+group stage, the delta fold, and the final merge
+// (sorted result assembly) are timed per stage.
+func (t *Tsunami) ExecuteGroupedTrace(q query.Query) (colstore.GroupedResult, *obs.QueryTrace) {
+	tr := &obs.QueryTrace{Query: q.String()}
+	total := time.Now()
+	ctx := execCtxPool.Get().(*execContext)
+	defer execCtxPool.Put(ctx)
+
+	start := time.Now()
+	ctx.regions = t.tree.FindRegions(q, ctx.regions[:0])
+	tr.AddStage("plan", time.Since(start),
+		fmt.Sprintf("%d of %d regions routed", len(ctx.regions), len(t.tree.Regions)))
+
+	acc := colstore.NewGroupAccumulator(q)
+	start = time.Now()
+	for _, r := range ctx.regions {
+		t.executeRegionGrouped(q, r, ctx.grid, acc)
+	}
+	tr.AddStage("scan+group", time.Since(start), "")
+
+	start = time.Now()
+	t.scanDeltasGrouped(q, ctx.regions, acc)
+	tr.AddStage("delta", time.Since(start),
+		fmt.Sprintf("%d buffered rows visible", t.numBuffered))
+
+	start = time.Now()
+	res := acc.Result()
+	tr.AddStage("merge", time.Since(start),
+		fmt.Sprintf("%d groups assembled", len(res.Groups)))
+
+	tr.Total = time.Since(total)
+	tr.Rows = res.PointsScanned
+	tr.Bytes = res.BytesTouched
+	tr.Regions = len(ctx.regions)
+	return res, tr
+}

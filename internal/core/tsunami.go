@@ -506,6 +506,9 @@ func (t *Tsunami) EstimateCost(q query.Query) (rows, bytes uint64) {
 	if q.Agg == query.Sum {
 		cols++
 	}
+	if q.Grouped() {
+		cols++ // the group-key column is one extra stream
+	}
 	return rows, rows * 8 * cols
 }
 

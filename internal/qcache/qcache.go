@@ -54,18 +54,22 @@ const (
 // allocation-free map probes. query.Type is excluded — it names the
 // template a query was generated from, not its semantics.
 type key struct {
-	ver    uint64
-	agg    query.Agg
-	aggDim int
-	nf     int
-	f      [maxFilters]query.Filter
+	ver     uint64
+	agg     query.Agg
+	aggDim  int
+	groupBy int // query.Query.GroupBy: 1+dim for grouped, 0 for flat
+	nf      int
+	f       [maxFilters]query.Filter
 }
 
 // entry pairs a result with the version vector it was computed under
-// (nil for single-epoch callers).
+// (nil for single-epoch callers). Flat and grouped entries share the
+// map: their keys can never collide because groupBy is part of the key
+// (0 for flat queries, 1+dim for grouped ones).
 type entry struct {
-	vec []uint64
-	res colstore.ScanResult
+	vec     []uint64
+	res     colstore.ScanResult
+	grouped *colstore.GroupedResult // non-nil iff the entry is grouped
 }
 
 type lockShard struct {
@@ -107,7 +111,7 @@ func keyOf(ver uint64, q query.Query) (key, bool) {
 	if len(q.Filters) > maxFilters {
 		return key{}, false
 	}
-	k := key{ver: ver, agg: q.Agg, nf: len(q.Filters)}
+	k := key{ver: ver, agg: q.Agg, groupBy: q.GroupBy, nf: len(q.Filters)}
 	if q.Agg == query.Sum {
 		k.aggDim = q.AggDim
 	}
@@ -136,6 +140,7 @@ func (k *key) shard() int {
 	}
 	mix(k.ver)
 	mix(uint64(k.agg)<<32 | uint64(uint32(k.aggDim)))
+	mix(uint64(uint32(k.groupBy)))
 	mix(uint64(k.nf))
 	for i := 0; i < k.nf; i++ {
 		f := &k.f[i]
@@ -185,7 +190,7 @@ func (c *Cache) Get(ver uint64, vec []uint64, q query.Query) (colstore.ScanResul
 	s.mu.Lock()
 	e, hit := s.m[k]
 	s.mu.Unlock()
-	if !hit || !vecEqual(e.vec, vec) {
+	if !hit || e.grouped != nil || !vecEqual(e.vec, vec) {
 		c.misses.Add(1)
 		return colstore.ScanResult{}, false
 	}
@@ -234,6 +239,75 @@ func (c *Cache) Put(ver uint64, vec []uint64, q query.Query, res colstore.ScanRe
 		}
 	}
 	s.m[k] = entry{vec: vcopy, res: res}
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+	return evicted
+}
+
+// GetGrouped looks up a grouped query's result at version ver, with the
+// same vector-verify contract as Get. The returned result is a deep
+// copy: callers may hold or modify it without aliasing the cached
+// groups slice.
+func (c *Cache) GetGrouped(ver uint64, vec []uint64, q query.Query) (colstore.GroupedResult, bool) {
+	if c == nil {
+		return colstore.GroupedResult{}, false
+	}
+	k, ok := keyOf(ver, q)
+	if !ok {
+		c.misses.Add(1)
+		return colstore.GroupedResult{}, false
+	}
+	s := &c.shards[k.shard()]
+	s.mu.Lock()
+	e, hit := s.m[k]
+	s.mu.Unlock()
+	if !hit || e.grouped == nil || !vecEqual(e.vec, vec) {
+		c.misses.Add(1)
+		return colstore.GroupedResult{}, false
+	}
+	c.hits.Add(1)
+	return e.grouped.Clone(), true
+}
+
+// PutGrouped stores a grouped query's result computed at version ver.
+// The entry keeps its own deep copy of the groups, so the caller's
+// result remains independently usable. Eviction policy matches Put.
+func (c *Cache) PutGrouped(ver uint64, vec []uint64, q query.Query, res colstore.GroupedResult) (evicted bool) {
+	if c == nil {
+		return false
+	}
+	k, ok := keyOf(ver, q)
+	if !ok {
+		return false
+	}
+	var vcopy []uint64
+	if len(vec) > 0 {
+		vcopy = append([]uint64(nil), vec...)
+	}
+	own := res.Clone()
+	s := &c.shards[k.shard()]
+	s.mu.Lock()
+	if _, exists := s.m[k]; !exists && len(s.m) >= c.perShard {
+		var victim key
+		have := false
+		n := 0
+		for ek := range s.m {
+			if !have || ek.ver != ver {
+				victim, have = ek, true
+			}
+			n++
+			if ek.ver != ver || n >= evictScan {
+				break
+			}
+		}
+		if have {
+			delete(s.m, victim)
+			evicted = true
+		}
+	}
+	s.m[k] = entry{vec: vcopy, grouped: &own}
 	s.mu.Unlock()
 	if evicted {
 		c.evictions.Add(1)

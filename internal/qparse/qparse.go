@@ -11,7 +11,11 @@
 //	col>=v       lower bound        col>v    strict lower bound
 //	a<=col<=b    range (also with < on either side)
 //
-// Terms over the same column intersect.
+// Terms over the same column intersect. A trailing "by <col>" clause
+// turns the aggregate into a grouped one (GROUP BY):
+//
+//	count day<=100 by store
+//	sum price store=12 by qty
 package qparse
 
 import (
@@ -66,6 +70,20 @@ func Parse(line string, names []string) (query.Query, error) {
 		return q, fmt.Errorf("unknown verb %q (count, sum, explain)", verb)
 	}
 
+	// A trailing "by <col>" clause makes the aggregate grouped. The
+	// keyword is matched case-insensitively and must be second-to-last so
+	// it can never be confused with a predicate term (terms always
+	// contain a comparison operator).
+	groupDim := -1
+	if len(args) >= 2 && strings.EqualFold(args[len(args)-2], "by") {
+		dim, err := dimOf(args[len(args)-1])
+		if err != nil {
+			return q, fmt.Errorf("group by: %w", err)
+		}
+		groupDim = dim
+		args = args[:len(args)-2]
+	}
+
 	var filters []query.Filter
 	for _, term := range args {
 		f, err := parseTerm(term, dimOf)
@@ -74,11 +92,15 @@ func Parse(line string, names []string) (query.Query, error) {
 		}
 		filters = append(filters, f)
 	}
+	var out query.Query
 	if q.Agg == query.Sum {
-		out := query.NewSum(q.AggDim, filters...)
-		return out, nil
+		out = query.NewSum(q.AggDim, filters...)
+	} else {
+		out = query.NewCount(filters...)
 	}
-	out := query.NewCount(filters...)
+	if groupDim >= 0 {
+		out = out.By(groupDim)
+	}
 	return out, nil
 }
 

@@ -116,3 +116,41 @@ func TestParseExplainVerb(t *testing.T) {
 		t.Error("explain should parse as COUNT")
 	}
 }
+
+func TestParseGroupBy(t *testing.T) {
+	q := mustParse(t, "count day<=100 by store")
+	if !q.Grouped() || q.GroupDim() != 1 {
+		t.Errorf("GroupBy = %d, want grouped on dim 1", q.GroupBy)
+	}
+	if f, ok := q.Filter(0); !ok || f.Hi != 100 {
+		t.Errorf("filter = %+v", f)
+	}
+
+	q = mustParse(t, "sum price store=12 by qty")
+	if q.Agg != query.Sum || q.AggDim != 2 || !q.Grouped() || q.GroupDim() != 3 {
+		t.Errorf("parsed %+v", q)
+	}
+
+	// No filters, positional group column, case-insensitive keyword.
+	q = mustParse(t, "count BY d3")
+	if !q.Grouped() || q.GroupDim() != 3 || len(q.Filters) != 0 {
+		t.Errorf("parsed %+v", q)
+	}
+
+	// Ungrouped queries keep the zero GroupBy.
+	if q := mustParse(t, "count qty=5"); q.Grouped() {
+		t.Error("flat query parsed as grouped")
+	}
+}
+
+func TestParseGroupByErrors(t *testing.T) {
+	for _, line := range []string{
+		"count day<=100 by nosuchcol",
+		"count by",        // bare keyword: "by" is not a predicate
+		"count day<=1 by", // trailing keyword without a column
+	} {
+		if _, err := Parse(line, names); err == nil {
+			t.Errorf("Parse(%q) should fail", line)
+		}
+	}
+}

@@ -51,6 +51,13 @@ type Query struct {
 	Agg     Agg
 	AggDim  int // dimension summed when Agg == Sum
 
+	// GroupBy holds 1 + the grouping dimension when the query is a
+	// grouped aggregate (GROUP BY <dim>), and 0 for a flat aggregate.
+	// The +1 bias makes the zero value of Query — and every existing
+	// composite literal that omits the field — an ungrouped query;
+	// read it through Grouped and GroupDim, set it through By.
+	GroupBy int
+
 	// Type is the workload-assigned query type id (§4.3.1); -1 if unknown.
 	Type int
 }
@@ -64,6 +71,22 @@ func NewCount(filters ...Filter) Query {
 func NewSum(dim int, filters ...Filter) Query {
 	return Query{Filters: normalize(filters), Agg: Sum, AggDim: dim, Type: -1}
 }
+
+// By returns a copy of the query grouped by dim: the aggregate is
+// computed per distinct value of column dim instead of once over all
+// matching rows. Filters are untouched — GROUP BY composes with any
+// predicate set.
+func (q Query) By(dim int) Query {
+	q.GroupBy = 1 + dim
+	return q
+}
+
+// Grouped reports whether the query is a grouped aggregate.
+func (q Query) Grouped() bool { return q.GroupBy != 0 }
+
+// GroupDim returns the grouping dimension. Only meaningful when
+// Grouped() is true.
+func (q Query) GroupDim() int { return q.GroupBy - 1 }
 
 // normalize sorts filters by dimension and merges duplicates on the same
 // dimension into their intersection.
@@ -192,6 +215,9 @@ func (q Query) String() string {
 		default:
 			fmt.Fprintf(&b, "%d<=d%d<=%d", f.Lo, f.Dim, f.Hi)
 		}
+	}
+	if q.Grouped() {
+		fmt.Fprintf(&b, " GROUP BY d%d", q.GroupDim())
 	}
 	return b.String()
 }

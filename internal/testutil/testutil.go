@@ -5,6 +5,7 @@ package testutil
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
@@ -74,6 +75,75 @@ func RandomQueries(st *colstore.Store, n int, seed int64) []query.Query {
 		}
 	}
 	return out
+}
+
+// RandomGroupedQueries draws n random grouped aggregates (GROUP BY) over
+// the store: random filters like RandomQueries, a random grouping
+// dimension (the low-cardinality last dimension of SmallTaxi exercises
+// the equality-mask fast path, the others the generic path), and a mix
+// of grouped COUNT and grouped SUM.
+func RandomGroupedQueries(st *colstore.Store, n int, seed int64) []query.Query {
+	rng := rand.New(rand.NewSource(seed))
+	base := RandomQueries(st, n, seed+1)
+	out := make([]query.Query, n)
+	for i, q := range base {
+		out[i] = q.By(rng.Intn(st.NumDims()))
+	}
+	return out
+}
+
+// GroupedOracle answers a grouped query by a naive full row-at-a-time
+// scan of truth — the independent reference every grouped execution path
+// must agree with. Only the groups are computed (scan accounting is a
+// property of the execution strategy, not the answer).
+func GroupedOracle(truth *colstore.Store, q query.Query) colstore.GroupedResult {
+	gd := q.GroupDim()
+	cells := make(map[int64]*colstore.GroupAgg)
+	row := make([]int64, truth.NumDims())
+	for i := 0; i < truth.NumRows(); i++ {
+		truth.Row(i, row)
+		if !q.MatchesRow(row) {
+			continue
+		}
+		c := cells[row[gd]]
+		if c == nil {
+			c = &colstore.GroupAgg{Key: row[gd]}
+			cells[row[gd]] = c
+		}
+		c.Count++
+		if q.Agg == query.Sum {
+			c.Sum += row[q.AggDim]
+		}
+	}
+	res := colstore.GroupedResult{GroupDim: gd}
+	for _, c := range cells {
+		res.Groups = append(res.Groups, *c)
+	}
+	sort.Slice(res.Groups, func(a, b int) bool { return res.Groups[a].Key < res.Groups[b].Key })
+	return res
+}
+
+// CheckGroupedMatchesFullScan fails the test unless exec agrees with
+// GroupedOracle on every query: same group keys, same per-group count
+// and sum. name labels failures (the grouped entry points are methods on
+// concrete stores, not index.Index, so the execution is passed as a
+// function).
+func CheckGroupedMatchesFullScan(t *testing.T, name string, exec func(query.Query) colstore.GroupedResult, truth *colstore.Store, qs []query.Query) {
+	t.Helper()
+	for i, q := range qs {
+		want := GroupedOracle(truth, q)
+		got := exec(q)
+		if len(got.Groups) != len(want.Groups) {
+			t.Fatalf("%s query %d (%s): %d groups, want %d", name, i, q, len(got.Groups), len(want.Groups))
+		}
+		for j, g := range got.Groups {
+			w := want.Groups[j]
+			if g.Key != w.Key || g.Count != w.Count || g.Sum != w.Sum {
+				t.Fatalf("%s query %d (%s) group %d: got {key=%d count=%d sum=%d}, want {key=%d count=%d sum=%d}",
+					name, i, q, j, g.Key, g.Count, g.Sum, w.Key, w.Count, w.Sum)
+			}
+		}
+	}
 }
 
 // SkewedQueries draws a workload with two distinct query types, one
@@ -195,4 +265,19 @@ func (o *Oracle) Check(t *testing.T, idx index.Index, qs []query.Query) {
 		probe = append(probe, query.NewSum(j))
 	}
 	CheckMatchesFullScan(t, idx, truth, probe)
+}
+
+// CheckGrouped fails the test unless exec agrees with a grouped full
+// scan of the oracle's current rows on every query, plus an unfiltered
+// grouped COUNT per dimension (so no row can be lost or duplicated in
+// any grouping).
+func (o *Oracle) CheckGrouped(t *testing.T, name string, exec func(query.Query) colstore.GroupedResult, qs []query.Query) {
+	t.Helper()
+	truth := o.Snapshot()
+	probe := make([]query.Query, 0, len(qs)+truth.NumDims())
+	probe = append(probe, qs...)
+	for j := 0; j < truth.NumDims(); j++ {
+		probe = append(probe, query.NewCount().By(j))
+	}
+	CheckGroupedMatchesFullScan(t, name, exec, truth, probe)
 }

@@ -101,6 +101,13 @@ func Key(q query.Query) Fingerprint {
 	if q.Agg == query.Sum {
 		h = fnvInt(h, q.AggDim)
 	}
+	// The grouping dimension is part of the shape: `count by zone` and a
+	// flat count answer different questions (and cost differently), as do
+	// groupings over different dimensions. GroupBy carries 1+dim (0 when
+	// flat), so hashing it verbatim separates all three cases.
+	if q.Grouped() {
+		h = fnvInt(h, q.GroupBy)
+	}
 	for _, f := range q.Filters {
 		h = fnvInt(h, f.Dim)
 		cls := classOf(f)
@@ -116,6 +123,7 @@ func Key(q query.Query) Fingerprint {
 //
 //	count passengers=? distance=[~2^9]
 //	sum(fare) pickup_zone=? total>=?
+//	count distance<=? by passengers
 //
 // names maps dimension index to column name; out-of-range or missing
 // names fall back to d<i>. The rendering carries exactly the information
@@ -143,6 +151,9 @@ func Shape(q query.Query, names []string) string {
 		default:
 			fmt.Fprintf(&b, "%s=[~2^%d]", n, widthLog2(f))
 		}
+	}
+	if q.Grouped() {
+		b.WriteString(" by " + dimName(names, q.GroupDim()))
 	}
 	return b.String()
 }
